@@ -1,0 +1,225 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure, plus
+// micro-benchmarks of the hot paths. Each benchmark iteration performs a
+// bounded slice of the experiment (a cell, a flow run, a training step) so
+// `go test -bench=.` finishes in minutes; the full tables are produced by
+// cmd/ldmo-bench. All experiment benches run on the coarse (fast) raster.
+package ldmo_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"ldmo"
+	"ldmo/internal/baseline"
+	"ldmo/internal/experiments"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+	"ldmo/internal/model"
+	"ldmo/internal/sampling"
+	"ldmo/internal/simclock"
+)
+
+var (
+	predOnce sync.Once
+	predVal  *model.Predictor
+	predErr  error
+)
+
+// trainedPredictor trains the fast-mode predictor once per test binary.
+func trainedPredictor(b *testing.B) *model.Predictor {
+	b.Helper()
+	predOnce.Do(func() {
+		predVal, predErr = experiments.TrainPredictor(experiments.Options{Fast: true, Seed: 1})
+	})
+	if predErr != nil {
+		b.Fatal(predErr)
+	}
+	return predVal
+}
+
+func fastILT() ilt.Config {
+	cfg := ilt.DefaultConfig()
+	cfg.Litho = litho.FastParams()
+	return cfg
+}
+
+func mustCell(b *testing.B, name string) layout.Layout {
+	b.Helper()
+	l, err := layout.Cell(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkTable1OursFlow measures our flow (Table I "Ours" column) on one
+// representative cell: candidate generation + CNN selection + ILT.
+func BenchmarkTable1OursFlow(b *testing.B) {
+	pred := trainedPredictor(b)
+	cfg := ldmo.DefaultFlowConfig()
+	cfg.ILT = fastILT()
+	flow := ldmo.NewFlow(pred, cfg)
+	cell := mustCell(b, "AOI211_X1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Run(cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1TwoStageSpacing measures the [16]+[6] column.
+func BenchmarkTable1TwoStageSpacing(b *testing.B) {
+	cell := mustCell(b, "AOI211_X1")
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.TwoStage("spacing", cell, fastILT(), simclock.DefaultModel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1TwoStageRelaxation measures the [17]+[6] column.
+func BenchmarkTable1TwoStageRelaxation(b *testing.B) {
+	cell := mustCell(b, "AOI211_X1")
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.TwoStage("relaxation", cell, fastILT(), simclock.DefaultModel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1UnifiedGreedy measures the [10] column (greedy pruning on
+// intermediate printability).
+func BenchmarkTable1UnifiedGreedy(b *testing.B) {
+	cell := mustCell(b, "AOI211_X1")
+	gc := baseline.DefaultGreedyConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.UnifiedGreedy(cell, fastILT(), gc, simclock.DefaultModel()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1bTrajectories measures the convergence-trace experiment.
+func BenchmarkFig1bTrajectories(b *testing.B) {
+	opt := experiments.Options{Fast: true, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig1b(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1cBreakdown measures one unified-greedy run with the DS/MO
+// accounting of Fig. 1(c).
+func BenchmarkFig1cBreakdown(b *testing.B) {
+	cell := mustCell(b, "NAND3_X2")
+	gc := baseline.DefaultGreedyConfig()
+	for i := 0; i < b.N; i++ {
+		r, _, err := baseline.UnifiedGreedy(cell, fastILT(), gc, simclock.DefaultModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.DSSeconds <= 0 {
+			b.Fatal("no DS accounting")
+		}
+	}
+}
+
+// BenchmarkFig7Cell measures one Fig. 7 cell comparison (ours vs ICCAD'17,
+// no image output).
+func BenchmarkFig7Cell(b *testing.B) {
+	pred := trainedPredictor(b)
+	opt := experiments.Options{Fast: true, Seed: 1, Predictor: pred}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(pred, opt, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8LabelAndTrain measures the Fig. 8 unit of work: labeling one
+// layout's sampled decompositions and taking gradient steps on them.
+func BenchmarkFig8LabelAndTrain(b *testing.B) {
+	sc := sampling.DefaultConfig()
+	cell := mustCell(b, "NAND3_X2")
+	for i := 0; i < b.N; i++ {
+		ds, _, err := sampling.BuildDataset([]layout.Layout{cell}, sc, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred, err := model.New(model.TinyConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tc := model.DefaultTrainConfig()
+		tc.Epochs = 1
+		if _, err := pred.Train(ds, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkILTFullRun measures one full 29-iteration mask optimization on
+// the default 4nm raster — the core physical workload of every experiment.
+func BenchmarkILTFullRun(b *testing.B) {
+	cell := mustCell(b, "NAND3_X2")
+	cands, err := ldmo.GenerateDecompositions(cell)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ilt.DefaultConfig()
+	cfg.AbortOnViolation = false
+	opt, err := ilt.NewOptimizer(cell, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Run(cands[0])
+	}
+}
+
+// BenchmarkPredictorInference measures one CNN printability prediction.
+func BenchmarkPredictorInference(b *testing.B) {
+	pred := trainedPredictor(b)
+	cell := mustCell(b, "AOI211_X1")
+	cands, err := ldmo.GenerateDecompositions(cell)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := cands[0].GrayImage(4, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.Predict(img)
+	}
+}
+
+// BenchmarkDecompositionGeneration measures MST + n-wise candidate
+// enumeration for the largest library cell.
+func BenchmarkDecompositionGeneration(b *testing.B) {
+	cell := mustCell(b, "DFF_X1")
+	for i := 0; i < b.N; i++ {
+		if _, err := ldmo.GenerateDecompositions(cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSIFTLayoutDistance measures the layout-similarity computation of
+// the sampling pipeline.
+func BenchmarkSIFTLayoutDistance(b *testing.B) {
+	pool, err := ldmo.GenerateLayouts(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := sampling.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.SelectLayouts(pool, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command ldmo-gen generates the synthetic contact-layout dataset standing
+// in for the paper's 8000 NanGate-like designs, verifies it against the
+// design rules, and writes one CSV per layout (pattern rectangles in nm).
+//
+// Usage:
+//
+//	ldmo-gen -n 100 -o layouts/          # 100 layouts as CSV into layouts/
+//	ldmo-gen -n 100 -gds lib.gds         # the whole dataset as one GDSII file
+//	ldmo-gen -n 10 -stats                # print statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ldmo/internal/gds"
+	"ldmo/internal/layout"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of layouts")
+	seed := flag.Int64("seed", 1, "random seed")
+	outDir := flag.String("o", "", "output directory for CSV files")
+	gdsPath := flag.String("gds", "", "write the dataset as one GDSII library file")
+	stats := flag.Bool("stats", false, "print dataset statistics instead of writing files")
+	flag.Parse()
+
+	set, err := layout.GenerateSet(*seed, *n, layout.DefaultGenParams())
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *stats {
+		counts := map[int]int{}
+		classTotals := map[layout.Class]int{}
+		cp := layout.DefaultClassifyParams()
+		for _, l := range set {
+			counts[len(l.Patterns)]++
+			for _, c := range layout.Classify(l.Patterns, cp) {
+				classTotals[c]++
+			}
+		}
+		fmt.Printf("%d layouts (seed %d)\n", len(set), *seed)
+		for k := 1; k <= 9; k++ {
+			if counts[k] > 0 {
+				fmt.Printf("  %d contacts: %d layouts\n", k, counts[k])
+			}
+		}
+		fmt.Printf("pattern classes: SP %d, VP %d, NP %d\n",
+			classTotals[layout.ClassSP], classTotals[layout.ClassVP], classTotals[layout.ClassNP])
+		return
+	}
+
+	if *gdsPath != "" {
+		f, err := os.Create(*gdsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := gds.Write(f, set); err != nil {
+			fatalf("write gds: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %d layouts to %s\n", len(set), *gdsPath)
+		if *outDir == "" {
+			return
+		}
+	}
+	if *outDir == "" {
+		fatalf("need -o DIR, -gds FILE, or -stats")
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	for _, l := range set {
+		path := filepath.Join(*outDir, l.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := l.WriteCSV(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Printf("wrote %d layouts to %s\n", len(set), *outDir)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ldmo-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

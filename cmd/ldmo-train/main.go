@@ -1,0 +1,113 @@
+// Command ldmo-train builds a training set with the paper's sampling
+// pipeline (SIFT + k-medoids layout sampling, MST + 3-wise decomposition
+// sampling, ILT labeling) and trains the printability predictor.
+//
+// Usage:
+//
+//	ldmo-train -o pred.gob                       # default CPU-scale run
+//	ldmo-train -o pred.gob -pool 200 -clusters 12 -per 4 -epochs 40
+//	ldmo-train -o pred.gob -paper                # paper constants (slow)
+//	ldmo-train -o pred.gob -random               # random-sampling baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldmo/internal/layout"
+	"ldmo/internal/model"
+	"ldmo/internal/sampling"
+)
+
+func main() {
+	out := flag.String("o", "predictor.gob", "output model file")
+	poolSize := flag.Int("pool", 120, "generated layout pool size")
+	clusters := flag.Int("clusters", 12, "k-medoids cluster count (paper: 50)")
+	perCluster := flag.Int("per", 4, "layouts drawn per cluster (paper: 5)")
+	epochs := flag.Int("epochs", 40, "training epochs")
+	batch := flag.Int("batch", 16, "batch size")
+	lr := flag.Float64("lr", 1e-3, "Adam learning rate")
+	seed := flag.Int64("seed", 1, "random seed")
+	paper := flag.Bool("paper", false, "use the paper's published sampling constants (slow)")
+	random := flag.Bool("random", false, "random-sampling baseline instead of the paper pipeline")
+	noAugment := flag.Bool("no-augment", false, "disable dihedral augmentation")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	var log *os.File
+	if !*quiet {
+		log = os.Stderr
+	}
+
+	pool, err := layout.GenerateSet(*seed, *poolSize, layout.DefaultGenParams())
+	if err != nil {
+		fatalf("generate pool: %v", err)
+	}
+
+	sc := sampling.DefaultConfig()
+	if *paper {
+		sc = sampling.PaperConfig()
+	}
+	sc.Clusters = *clusters
+	sc.PerCluster = *perCluster
+	sc.Seed = *seed
+
+	var ds *model.Dataset
+	if *random {
+		// Match the paper pipeline's labeling budget.
+		selected, err := sampling.SelectLayouts(pool, sc)
+		if err != nil {
+			fatalf("select: %v", err)
+		}
+		ref, _, err := sampling.BuildDataset(selected, sc, nil)
+		if err != nil {
+			fatalf("budget probe: %v", err)
+		}
+		ds, _, err = sampling.BuildRandomDataset(pool, ref.Len(), sc, log)
+		if err != nil {
+			fatalf("random dataset: %v", err)
+		}
+	} else {
+		selected, err := sampling.SelectLayouts(pool, sc)
+		if err != nil {
+			fatalf("select: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "selected %d representative layouts\n", len(selected))
+		ds, _, err = sampling.BuildDataset(selected, sc, log)
+		if err != nil {
+			fatalf("build dataset: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "labeled %d samples\n", ds.Len())
+	if !*noAugment {
+		ds = ds.Augmented()
+		fmt.Fprintf(os.Stderr, "augmented to %d samples\n", ds.Len())
+	}
+
+	pred, err := model.New(model.TinyConfig())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tc := model.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	tc.BatchSize = *batch
+	tc.LR = *lr
+	tc.Seed = *seed
+	tc.Log = log
+	tc.DecayAt = (*epochs * 2) / 3
+	hist, err := pred.Train(ds, tc)
+	if err != nil {
+		fatalf("train: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "final loss %.4f\n", hist[len(hist)-1])
+	if err := pred.Save(*out); err != nil {
+		fatalf("save: %v", err)
+	}
+	fmt.Printf("wrote %s (%d parameters)\n", *out, pred.Net.ParamCount())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ldmo-train: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+package ldmo_test
+
+import (
+	"fmt"
+
+	"ldmo"
+)
+
+// ExampleCell shows looking up a library cell.
+func ExampleCell() {
+	cell, err := ldmo.Cell("NAND3_X2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cell.Name, len(cell.Patterns), "patterns in a",
+		cell.Window.W(), "nm tile")
+	// Output: NAND3_X2 7 patterns in a 544 nm tile
+}
+
+// ExampleGenerateDecompositions shows the MST + n-wise candidate set of a
+// cell: a handful of canonical mask assignments instead of the 2^(n-1)
+// exhaustive space.
+func ExampleGenerateDecompositions() {
+	cell, err := ldmo.Cell("NAND3_X2")
+	if err != nil {
+		panic(err)
+	}
+	cands, err := ldmo.GenerateDecompositions(cell)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(cands), "candidates out of", 1<<(len(cell.Patterns)-1), "legal-or-not assignments")
+	for _, d := range cands {
+		fmt.Println(d.Key())
+	}
+	// Output:
+	// 4 candidates out of 64 legal-or-not assignments
+	// 0100010
+	// 0101101
+	// 0100101
+	// 0101010
+}
+
+// ExampleCellNames lists the Table I suite.
+func ExampleCellNames() {
+	names := ldmo.CellNames()
+	fmt.Println(len(names), "cells, first:", names[0], "last:", names[len(names)-1])
+	// Output: 13 cells, first: BUF_X1 last: DFF_X1
+}

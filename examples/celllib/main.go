@@ -1,0 +1,68 @@
+// Celllib: optimize the three cells the paper pictures in Fig. 7 (AOI211_X1,
+// NAND3_X2, BUF_X1) with the full flow and dump target/mask/print images as
+// PGM files for visual inspection.
+//
+//	go run ./examples/celllib [-model pred.gob] [-out fig7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ldmo"
+	"ldmo/internal/core"
+	"ldmo/internal/model"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "trained predictor (optional)")
+	outDir := flag.String("out", "fig7-images", "output directory for PGM images")
+	flag.Parse()
+
+	var scorer core.Scorer
+	if *modelPath != "" {
+		pred, err := model.Load(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scorer = pred
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := ldmo.DefaultFlowConfig()
+	cfg.ILT.Litho.Resolution = 8 // coarse raster keeps the example fast
+	flow := ldmo.NewFlow(scorer, cfg)
+
+	for _, name := range []string{"AOI211_X1", "NAND3_X2", "BUF_X1"} {
+		cell, err := ldmo.Cell(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := flow.Run(cell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s decomposition %s  EPE %d  L2 %.1f  (attempts %d)\n",
+			name, res.Chosen.Key(), res.ILT.EPE.Violations, res.ILT.L2, res.Attempts)
+
+		base := strings.ToLower(name)
+		for tag, img := range map[string]*ldmo.Grid{
+			"target": cell.Rasterize(cfg.ILT.Litho.Resolution),
+			"m1":     res.ILT.M1,
+			"m2":     res.ILT.M2,
+			"print":  res.ILT.Printed,
+		} {
+			path := filepath.Join(*outDir, base+"_"+tag+".pgm")
+			if err := img.SavePGM(path, 0, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("images written under %s/\n", *outDir)
+}

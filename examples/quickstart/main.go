@@ -1,0 +1,52 @@
+// Quickstart: run the deep-learning-driven LDMO flow end-to-end on one
+// standard cell, without a trained predictor (candidates are tried in
+// generation order with the print-violation feedback loop).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldmo"
+)
+
+func main() {
+	// A cell from the synthetic NanGate-like library (contact layer).
+	cell, err := ldmo.Cell("NAND3_X2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimizing %s: %d contact patterns in a %dnm tile\n",
+		cell.Name, len(cell.Patterns), cell.Window.W())
+
+	// The decomposition candidates the flow will choose between.
+	cands, err := ldmo.GenerateDecompositions(cell)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MST + n-wise generation produced %d candidates:\n", len(cands))
+	for _, d := range cands {
+		fmt.Printf("  %s\n", d.Key())
+	}
+
+	// Run the full flow: candidate generation -> (predictor) -> ILT with
+	// violation feedback. The coarse 8nm raster keeps this example fast.
+	cfg := ldmo.DefaultFlowConfig()
+	cfg.ILT.Litho.Resolution = 8
+	flow := ldmo.NewFlow(nil, cfg)
+	res, err := flow.Run(cell)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nchose %s after %d attempt(s)\n", res.Chosen.Key(), res.Attempts)
+	fmt.Printf("final printability: %d EPE violations, L2 error %.1f\n",
+		res.ILT.EPE.Violations, res.ILT.L2)
+	fmt.Printf("print violations: %+v\n", res.ILT.Violations)
+
+	// The printed wafer image, as ASCII art.
+	fmt.Println("\nprinted image:")
+	fmt.Print(res.ILT.Printed.Threshold(0.5).ASCII(" .#", 68))
+}

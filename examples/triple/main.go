@@ -1,0 +1,62 @@
+// Triple: the multiple-patterning extension. Three contacts in a mutual
+// conflict triangle (every pair below nmin) cannot be decomposed onto two
+// masks — the SP conflict graph is an odd cycle — but decompose and print
+// cleanly with three masks.
+//
+//	go run ./examples/triple
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldmo"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+	"ldmo/internal/mpl"
+)
+
+func main() {
+	l := ldmo.Layout{
+		Name:   "triangle",
+		Window: ldmo.RectWH(0, 0, 544, 544),
+		Patterns: []ldmo.Rect{
+			ldmo.RectWH(100, 100, 65, 65),
+			ldmo.RectWH(230, 100, 65, 65),
+			ldmo.RectWH(165, 225, 65, 65),
+		},
+	}
+	adj := layout.ConflictGraph(l.Patterns, 80)
+	if ok, _ := layout.IsBipartite(adj); ok {
+		log.Fatal("expected an odd conflict cycle")
+	}
+	fmt.Println("conflict triangle: not decomposable onto 2 masks")
+
+	p := litho.FastParams()
+
+	// Double patterning is forced to put an SP pair on one mask.
+	opt, err := mpl.NewOptimizer(l, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp := mpl.New(l, 2, []uint8{0, 1, 0})
+	r2 := opt.Run(dp)
+	fmt.Printf("2 masks: EPE %d violations, print violations %+v\n",
+		r2.EPE.Violations, r2.Violations)
+
+	// Triple patterning separates all three.
+	cands, err := mpl.Generate(l, layout.DefaultClassifyParams(), 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt3, err := mpl.NewOptimizer(l, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r3 := opt3.Run(cands[0])
+	fmt.Printf("3 masks: EPE %d violations, print violations %+v\n",
+		r3.EPE.Violations, r3.Violations)
+
+	fmt.Println("\nprinted image with 3 masks:")
+	fmt.Print(r3.Printed.Threshold(0.5).ASCII(" .#", 68))
+}

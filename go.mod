@@ -1,0 +1,3 @@
+module ldmo
+
+go 1.22

@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/geom"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+	"ldmo/internal/simclock"
+)
+
+// cellRect places a contact at library slot (c, r).
+func cellRect(c, r int) geom.Rect {
+	return geom.RectWH(layout.SlotOriginNM+layout.SlotPitchXNM*c,
+		layout.SlotOriginNM+layout.SlotPitchYNM*r,
+		layout.ContactNM, layout.ContactNM)
+}
+
+func layoutWindow() geom.Rect { return geom.RectWH(0, 0, layout.TileNM, layout.TileNM) }
+
+func fastILT() ilt.Config {
+	cfg := ilt.DefaultConfig()
+	cfg.Litho = litho.FastParams()
+	cfg.MaxIters = 6
+	return cfg
+}
+
+func TestSpacingColoringLegal(t *testing.T) {
+	cp := layout.DefaultClassifyParams()
+	for _, cell := range layout.Cells() {
+		d, err := SpacingColoring(cell, cp, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Name, err)
+		}
+		if !d.Valid(cp.NMin) {
+			t.Fatalf("%s: spacing coloring leaves SP pair on one mask", cell.Name)
+		}
+	}
+}
+
+func TestRelaxationColoringLegal(t *testing.T) {
+	cp := layout.DefaultClassifyParams()
+	for _, cell := range layout.Cells() {
+		d, err := RelaxationColoring(cell, cp, 1, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Name, err)
+		}
+		if !d.Valid(cp.NMin) {
+			t.Fatalf("%s: relaxation coloring leaves SP pair on one mask", cell.Name)
+		}
+		if d.Assign[0] != 0 {
+			t.Fatalf("%s: result not canonical", cell.Name)
+		}
+	}
+}
+
+func TestRelaxationColoringEmptyLayout(t *testing.T) {
+	if _, err := RelaxationColoring(layout.Layout{Name: "x"}, layout.DefaultClassifyParams(), 1, nil); err == nil {
+		t.Fatal("empty layout must error")
+	}
+}
+
+func TestRepairSPFixesViolations(t *testing.T) {
+	l, err := layout.Cell("NAND3_X2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]uint8, len(l.Patterns)) // all on one mask: many conflicts
+	repairSP(l, 80, assign)
+	if !decomp.New(l, assign).Valid(80) {
+		t.Fatal("repair did not clear SP conflicts")
+	}
+}
+
+func TestTwoStageFlows(t *testing.T) {
+	l, err := layout.Cell("NAND3_X2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []string{"spacing", "relaxation"} {
+		res, err := TwoStage(variant, l, fastILT(), simclock.DefaultModel())
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if res.Flow != "twostage-"+variant {
+			t.Fatalf("flow name %q", res.Flow)
+		}
+		if res.Seconds <= 0 {
+			t.Fatalf("%s: no model time accumulated", variant)
+		}
+		if res.ILT.Printed == nil {
+			t.Fatalf("%s: no printed image", variant)
+		}
+		// The SDP-style solve must dominate a short ILT in model time.
+		if res.Seconds < simclock.DefaultModel()[simclock.CostSDPSolve] {
+			t.Fatalf("%s: model time %g below the decomposition solve cost", variant, res.Seconds)
+		}
+	}
+	if _, err := TwoStage("bogus", l, fastILT(), simclock.DefaultModel()); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+func TestUnifiedGreedy(t *testing.T) {
+	l, err := layout.Cell("AOI211_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, clock, err := UnifiedGreedy(l, fastILT(), DefaultGreedyConfig(), simclock.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != "unified-greedy" {
+		t.Fatalf("flow name %q", res.Flow)
+	}
+	if res.DSSeconds <= 0 || res.MOSeconds <= 0 {
+		t.Fatalf("phase seconds DS=%g MO=%g", res.DSSeconds, res.MOSeconds)
+	}
+	// The defining property of the [10]-style flow: decomposition
+	// selection costs more than mask optimization (paper Fig. 1c).
+	if res.DSSeconds <= res.MOSeconds {
+		t.Fatalf("DS %g not dominant over MO %g", res.DSSeconds, res.MOSeconds)
+	}
+	if clock.Seconds() <= 0 {
+		t.Fatal("clock empty")
+	}
+	if got := res.DSSeconds + res.MOSeconds; got < res.Seconds*0.99 || got > res.Seconds*1.01 {
+		t.Fatalf("DS+MO = %g, total = %g", got, res.Seconds)
+	}
+	if !res.Decomp.Valid(80) {
+		t.Fatal("selected decomposition illegal")
+	}
+}
+
+func TestUnifiedGreedySingleCandidate(t *testing.T) {
+	// A layout with a unique legal decomposition must short-circuit.
+	l := layout.Layout{Name: "single", Window: layoutWindow()}
+	l.Patterns = append(l.Patterns,
+		cellRect(0, 0), cellRect(1, 0)) // one SP pair: unique split
+	res, _, err := UnifiedGreedy(l, fastILT(), DefaultGreedyConfig(), simclock.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decomp.Valid(80) {
+		t.Fatal("invalid decomposition")
+	}
+}
+
+func TestSameMaskStats(t *testing.T) {
+	l, err := layout.Cell("NAND2_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternating row assignment: same-mask pairs exist at 130nm pitch.
+	d := decomp.New(l, []uint8{0, 1, 0, 1, 0})
+	mn, vr := sameMaskStats(d, 98)
+	if mn <= 0 || vr < 0 {
+		t.Fatalf("stats = %g, %g", mn, vr)
+	}
+	// A two-pattern layout split across masks has no same-mask pairs.
+	pair := layout.Layout{Name: "p", Window: layoutWindow(),
+		Patterns: []geom.Rect{cellRect(0, 0), cellRect(2, 2)}}
+	dp := decomp.New(pair, []uint8{0, 1})
+	mn, vr = sameMaskStats(dp, 98)
+	if !math.IsInf(mn, 1) || vr != 0 {
+		t.Fatalf("empty stats = %g, %g", mn, vr)
+	}
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldmo/internal/layout"
+	"ldmo/internal/simclock"
+)
+
+func TestLegalColoringsAllValid(t *testing.T) {
+	for _, cell := range layout.Cells() {
+		cands, err := legalColorings(cell, 32, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Name, err)
+		}
+		if len(cands) == 0 {
+			t.Fatalf("%s: no legal colorings", cell.Name)
+		}
+		seen := map[string]bool{}
+		for _, d := range cands {
+			if !d.Valid(80) {
+				t.Fatalf("%s: illegal coloring %s", cell.Name, d.Key())
+			}
+			if seen[d.Key()] {
+				t.Fatalf("%s: duplicate coloring", cell.Name)
+			}
+			seen[d.Key()] = true
+		}
+	}
+}
+
+func TestLegalColoringsCap(t *testing.T) {
+	l, err := layout.Cell("DFF_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := legalColorings(l, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 4 {
+		t.Fatalf("cap ignored: %d", len(cands))
+	}
+	// Zero cap falls back to the default.
+	cands, err = legalColorings(l, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 || len(cands) > 16 {
+		t.Fatalf("default cap gave %d", len(cands))
+	}
+}
+
+func TestLegalColoringsEmptyLayout(t *testing.T) {
+	if _, err := legalColorings(layout.Layout{Name: "e"}, 8, nil); err == nil {
+		t.Fatal("empty layout must error")
+	}
+}
+
+func TestLegalColoringsChargesClock(t *testing.T) {
+	clk := simclock.New(simclock.DefaultModel())
+	l, err := layout.Cell("NAND3_X2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legalColorings(l, 16, clk); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Count(simclock.CostGraphOp) == 0 {
+		t.Fatal("no graph ops charged")
+	}
+}
+
+func TestRelaxationColoringDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pool, err := layout.GenerateSet(rng.Int63(), 5, layout.DefaultGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := layout.DefaultClassifyParams()
+	for _, l := range pool {
+		a, err := RelaxationColoring(l, cp, 9, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RelaxationColoring(l, cp, 9, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Key() != b.Key() {
+			t.Fatalf("%s: relaxation not deterministic", l.Name)
+		}
+		if !a.Valid(cp.NMin) {
+			t.Fatalf("%s: relaxation coloring invalid", l.Name)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package cluster implements the k-medoids (PAM-style) clustering of the
+// paper's layout-sampling stage (§IV-A): representative layouts are chosen
+// as real cluster members ("medoids"), which is less sensitive to noise than
+// k-means centroids, and quality is measured by the sum of layout distances
+// to each medoid (Eq. 8, "SLD").
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result is one clustering outcome.
+type Result struct {
+	// Medoids holds the item index of each cluster's representative.
+	Medoids []int
+	// Assign maps each item to its cluster (index into Medoids).
+	Assign []int
+	// SLD is the Eq. 8 objective: the total distance from every item to
+	// its cluster medoid.
+	SLD float64
+}
+
+// Members returns the item indices of each cluster.
+func (r Result) Members() [][]int {
+	out := make([][]int, len(r.Medoids))
+	for i, c := range r.Assign {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// KMedoids clusters n items described by a symmetric n x n distance matrix
+// into k clusters using alternating assignment/update (Voronoi-iteration
+// PAM). Initialization is distance-weighted (k-means++ style) and
+// deterministic in seed.
+func KMedoids(dist [][]float64, k int, seed int64, maxIters int) (Result, error) {
+	n := len(dist)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cluster: empty distance matrix")
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return Result{}, fmt.Errorf("cluster: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+
+	// Voronoi-iteration PAM converges to a local optimum, so run several
+	// restarts with different initializations and keep the best SLD.
+	const restarts = 8
+	var best Result
+	bestSLD := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		res := kMedoidsOnce(dist, k, seed+int64(r)*7919, maxIters)
+		if res.SLD < bestSLD {
+			bestSLD = res.SLD
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kMedoidsOnce(dist [][]float64, k int, seed int64, maxIters int) Result {
+	n := len(dist)
+	rng := rand.New(rand.NewSource(seed))
+	medoids := initMedoids(dist, k, rng)
+	assign := make([]int, n)
+
+	var sld float64
+	for iter := 0; iter < maxIters; iter++ {
+		// Assignment step.
+		sld = 0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range medoids {
+				if d := dist[i][m]; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			sld += bestD
+		}
+		// Update step: each cluster's medoid becomes the member with the
+		// smallest total distance to the rest of the cluster.
+		changed := false
+		for c := range medoids {
+			var members []int
+			for i, a := range assign {
+				if a == c {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			best, bestCost := medoids[c], math.Inf(1)
+			for _, cand := range members {
+				cost := 0.0
+				for _, m := range members {
+					cost += dist[cand][m]
+				}
+				if cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			if best != medoids[c] {
+				medoids[c] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final assignment against the converged medoids.
+	sld = 0
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for c, m := range medoids {
+			if d := dist[i][m]; d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		sld += bestD
+	}
+	return Result{Medoids: medoids, Assign: assign, SLD: sld}
+}
+
+// initMedoids seeds the medoid set with a distance-weighted greedy pick:
+// the first medoid is random, each further one is sampled proportionally to
+// its distance from the nearest already-chosen medoid.
+func initMedoids(dist [][]float64, k int, rng *rand.Rand) []int {
+	n := len(dist)
+	medoids := make([]int, 0, k)
+	medoids = append(medoids, rng.Intn(n))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = dist[i][medoids[0]]
+	}
+	for len(medoids) < k {
+		total := 0.0
+		for _, d := range minD {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			// All remaining distances zero: any non-medoid will do.
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, d := range minD {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		medoids = append(medoids, pick)
+		for i := range minD {
+			if d := dist[i][pick]; d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	return medoids
+}
+
+// SLD computes the Eq. 8 objective of an arbitrary medoid/assignment pair,
+// for verification and tests.
+func SLD(dist [][]float64, medoids, assign []int) float64 {
+	total := 0.0
+	for i, c := range assign {
+		total += dist[i][medoids[c]]
+	}
+	return total
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pointsDist builds a distance matrix from 1-D points.
+func pointsDist(pts []float64) [][]float64 {
+	n := len(pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(pts[i] - pts[j])
+		}
+	}
+	return d
+}
+
+func TestKMedoidsSeparatesObviousClusters(t *testing.T) {
+	pts := []float64{0, 1, 2, 100, 101, 102}
+	res, err := KMedoids(pointsDist(pts), 2, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Fatalf("medoids = %v", res.Medoids)
+	}
+	// Items 0-2 together, 3-5 together.
+	if res.Assign[0] != res.Assign[1] || res.Assign[1] != res.Assign[2] {
+		t.Fatalf("low cluster split: %v", res.Assign)
+	}
+	if res.Assign[3] != res.Assign[4] || res.Assign[4] != res.Assign[5] {
+		t.Fatalf("high cluster split: %v", res.Assign)
+	}
+	if res.Assign[0] == res.Assign[3] {
+		t.Fatalf("clusters merged: %v", res.Assign)
+	}
+	// Optimal medoids are the middle points; SLD = 1+1 per cluster.
+	if res.SLD != 4 {
+		t.Fatalf("SLD = %g, want 4", res.SLD)
+	}
+}
+
+func TestKMedoidsMedoidsAreMembers(t *testing.T) {
+	pts := []float64{5, 6, 9, 30, 31, 60}
+	res, err := KMedoids(pointsDist(pts), 3, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, m := range res.Medoids {
+		if res.Assign[m] != c {
+			t.Fatalf("medoid %d of cluster %d assigned to cluster %d", m, c, res.Assign[m])
+		}
+	}
+}
+
+func TestKMedoidsErrors(t *testing.T) {
+	if _, err := KMedoids(nil, 2, 1, 10); err == nil {
+		t.Fatal("empty matrix must error")
+	}
+	if _, err := KMedoids([][]float64{{0, 1}}, 1, 1, 10); err == nil {
+		t.Fatal("ragged matrix must error")
+	}
+	if _, err := KMedoids(pointsDist([]float64{1, 2}), 0, 1, 10); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+func TestKMedoidsKLargerThanN(t *testing.T) {
+	res, err := KMedoids(pointsDist([]float64{1, 5}), 10, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 || res.SLD != 0 {
+		t.Fatalf("k>n result = %+v", res)
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	pts := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	a, _ := KMedoids(pointsDist(pts), 3, 42, 50)
+	b, _ := KMedoids(pointsDist(pts), 3, 42, 50)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	pts := []float64{0, 1, 50, 51, 100}
+	res, err := KMedoids(pointsDist(pts), 3, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := res.Members()
+	seen := map[int]bool{}
+	for _, ms := range members {
+		for _, i := range ms {
+			if seen[i] {
+				t.Fatal("item in two clusters")
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("partition covers %d of %d items", len(seen), len(pts))
+	}
+}
+
+func TestAssignmentIsNearestMedoidQuick(t *testing.T) {
+	// Property: every item ends assigned to its nearest medoid, and the
+	// reported SLD matches the recomputed one.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = rng.Float64() * 100
+		}
+		d := pointsDist(pts)
+		k := 1 + rng.Intn(4)
+		res, err := KMedoids(d, k, seed, 50)
+		if err != nil {
+			return false
+		}
+		for i := range pts {
+			best := math.Inf(1)
+			for _, m := range res.Medoids {
+				best = math.Min(best, d[i][m])
+			}
+			if d[i][res.Medoids[res.Assign[i]]] > best+1e-12 {
+				return false
+			}
+		}
+		return math.Abs(SLD(d, res.Medoids, res.Assign)-res.SLD) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLDBeatsRandomMedoids(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]float64, 40)
+	for i := range pts {
+		pts[i] = rng.Float64() * 100
+	}
+	d := pointsDist(pts)
+	res, err := KMedoids(d, 5, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-restart PAM must be no more than marginally worse than the
+	// best of 20 random medoid sets (it is a local-search heuristic, so an
+	// occasional lucky random draw is tolerated within 5%).
+	bestRandom := math.Inf(1)
+	for trial := 0; trial < 20; trial++ {
+		meds := rng.Perm(len(pts))[:5]
+		assign := make([]int, len(pts))
+		for i := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range meds {
+				if d[i][m] < bestD {
+					best, bestD = c, d[i][m]
+				}
+			}
+			assign[i] = best
+		}
+		bestRandom = math.Min(bestRandom, SLD(d, meds, assign))
+	}
+	if res.SLD > bestRandom*1.05 {
+		t.Fatalf("PAM SLD %g far worse than best random %g", res.SLD, bestRandom)
+	}
+}

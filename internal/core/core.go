@@ -1,0 +1,264 @@
+// Package core implements the paper's contribution: the deep-learning-driven
+// simultaneous layout decomposition and mask optimization flow of Fig. 2.
+//
+//	input layout
+//	  -> decomposition generation        (MST + n-wise, package decomp)
+//	  -> printability prediction         (CNN scores all candidates)
+//	  -> ILT mask optimization           (package ilt)
+//	  -> print-violation check every 3 iterations; on violation, fall back
+//	     to the next-best unused candidate
+//	  -> optimized mask pair
+//
+// Selection costs one CNN inference per candidate instead of the partial
+// mask-optimization probes of the ICCAD'17 flow, which is where the paper's
+// runtime advantage comes from.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/grid"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/simclock"
+)
+
+// Scorer predicts printability scores for decomposition images; lower is
+// better. *model.Predictor implements it.
+type Scorer interface {
+	PredictBatch(imgs []*grid.Grid) []float64
+}
+
+// Config parameterizes the flow.
+type Config struct {
+	// ILT configures mask optimization. AbortOnViolation is forced on for
+	// candidate runs (that is the feedback loop of Fig. 2) and off for the
+	// final best-effort run when every candidate tripped the check.
+	ILT ilt.Config
+	// Classify sets the SP/VP/NP bands for candidate generation.
+	Classify layout.ClassifyParams
+	// Seed drives covering-array construction.
+	Seed int64
+	// ImageRes and ImageSize control the predictor input rendering.
+	ImageRes  int
+	ImageSize int
+	// MaxAttempts bounds how many candidates are tried before the forced
+	// best-effort run; 0 means all candidates.
+	MaxAttempts int
+	// ClockModel prices the deterministic runtime accounting.
+	ClockModel simclock.Model
+}
+
+// DefaultConfig returns the paper's flow settings over the calibrated
+// process.
+func DefaultConfig() Config {
+	return Config{
+		ILT:        ilt.DefaultConfig(),
+		Classify:   layout.DefaultClassifyParams(),
+		Seed:       1,
+		ImageRes:   4,
+		ImageSize:  64,
+		ClockModel: simclock.DefaultModel(),
+	}
+}
+
+// Flow is the reusable LDMO engine.
+type Flow struct {
+	cfg    Config
+	scorer Scorer
+}
+
+// NewFlow builds a flow around a trained predictor. A nil scorer degrades
+// to the generator's candidate order (useful before a model exists, and as
+// the no-predictor ablation).
+func NewFlow(scorer Scorer, cfg Config) *Flow {
+	if cfg.ImageRes <= 0 {
+		cfg.ImageRes = 4
+	}
+	if cfg.ImageSize <= 0 {
+		cfg.ImageSize = 64
+	}
+	if cfg.Classify.NMin == 0 {
+		cfg.Classify = layout.DefaultClassifyParams()
+	}
+	return &Flow{cfg: cfg, scorer: scorer}
+}
+
+// Result is the outcome of one flow run.
+type Result struct {
+	Layout layout.Layout
+	// Chosen is the decomposition the flow committed to.
+	Chosen decomp.Decomposition
+	// ILT is the final mask-optimization result.
+	ILT ilt.Result
+	// Candidates is the generated candidate count; Attempts is how many
+	// went through ILT (1 when the predictor's first choice survived).
+	Candidates int
+	Attempts   int
+	// Forced reports that every candidate tripped the violation check and
+	// the best-predicted one was re-run without aborting.
+	Forced bool
+	// PredScores holds the predictor score per candidate, aligned with the
+	// generation order.
+	PredScores []float64
+	// Clock carries the deterministic cost accounting (phases "DS"/"MO");
+	// Seconds is its total.
+	Clock   *simclock.Clock
+	Seconds float64
+}
+
+// phase names for the runtime accounting.
+const (
+	PhaseDS = "DS"
+	PhaseMO = "MO"
+)
+
+// Run executes the Fig. 2 flow on one layout.
+func (f *Flow) Run(l layout.Layout) (Result, error) {
+	clock := simclock.New(f.cfg.ClockModel)
+	clock.SetPhase(PhaseDS)
+
+	// Decomposition generation.
+	gen := decomp.NewGenerator()
+	gen.Classify = f.cfg.Classify
+	gen.Seed = f.cfg.Seed
+	gen.Clock = clock
+	cands, err := gen.Generate(l)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Printability prediction: score every candidate with one CNN
+	// inference each, then sort ascending (lower score = better predicted
+	// printability).
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	var scores []float64
+	if f.scorer != nil && len(cands) > 1 {
+		imgs := make([]*grid.Grid, len(cands))
+		for i, d := range cands {
+			imgs[i] = d.GrayImage(f.cfg.ImageRes, f.cfg.ImageSize)
+		}
+		scores = f.scorer.PredictBatch(imgs)
+		clock.Charge(simclock.CostCNNInference, len(cands))
+		sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	}
+
+	// ILT with the violation-feedback loop.
+	iltCfg := f.cfg.ILT
+	iltCfg.AbortOnViolation = true
+	opt, err := ilt.NewOptimizer(l, iltCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	clock.SetPhase(PhaseMO)
+	opt.SetClock(clock)
+
+	maxAttempts := f.cfg.MaxAttempts
+	if maxAttempts <= 0 || maxAttempts > len(order) {
+		maxAttempts = len(order)
+	}
+	res := Result{
+		Layout:     l,
+		Candidates: len(cands),
+		PredScores: scores,
+		Clock:      clock,
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		d := cands[order[attempt]]
+		res.Attempts = attempt + 1
+		r := opt.Run(d)
+		if !r.Aborted {
+			res.Chosen = d
+			res.ILT = r
+			res.Seconds = clock.Seconds()
+			return res, nil
+		}
+	}
+
+	// Every candidate tripped the print-violation check: force a full run
+	// on the best-predicted candidate and report what it achieves.
+	forcedCfg := f.cfg.ILT
+	forcedCfg.AbortOnViolation = false
+	forcedOpt, err := ilt.NewOptimizer(l, forcedCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	forcedOpt.SetClock(clock)
+	best := cands[order[0]]
+	res.Forced = true
+	res.Chosen = best
+	res.ILT = forcedOpt.Run(best)
+	res.Seconds = clock.Seconds()
+	return res, nil
+}
+
+// RankCandidates exposes the prediction stage alone: the candidates of l in
+// predicted-best-first order with their scores. Used by the examples and the
+// ablation benches.
+func (f *Flow) RankCandidates(l layout.Layout) ([]decomp.Decomposition, []float64, error) {
+	gen := decomp.NewGenerator()
+	gen.Classify = f.cfg.Classify
+	gen.Seed = f.cfg.Seed
+	cands, err := gen.Generate(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.scorer == nil {
+		return cands, nil, nil
+	}
+	imgs := make([]*grid.Grid, len(cands))
+	for i, d := range cands {
+		imgs[i] = d.GrayImage(f.cfg.ImageRes, f.cfg.ImageSize)
+	}
+	scores := f.scorer.PredictBatch(imgs)
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	outC := make([]decomp.Decomposition, len(cands))
+	outS := make([]float64, len(cands))
+	for i, oi := range order {
+		outC[i] = cands[oi]
+		outS[i] = scores[oi]
+	}
+	return outC, outS, nil
+}
+
+// OracleSelect runs full ILT on every candidate and returns the truly best
+// decomposition by Eq. 9 score — the (expensive) selection upper bound the
+// predictor approximates. Used by tests and the ablation benches.
+func OracleSelect(l layout.Layout, cfg Config, alpha, beta, gamma float64) (decomp.Decomposition, ilt.Result, error) {
+	gen := decomp.NewGenerator()
+	gen.Classify = cfg.Classify
+	gen.Seed = cfg.Seed
+	cands, err := gen.Generate(l)
+	if err != nil {
+		return decomp.Decomposition{}, ilt.Result{}, err
+	}
+	iltCfg := cfg.ILT
+	iltCfg.AbortOnViolation = false
+	opt, err := ilt.NewOptimizer(l, iltCfg)
+	if err != nil {
+		return decomp.Decomposition{}, ilt.Result{}, err
+	}
+	bestIdx := -1
+	var bestRes ilt.Result
+	bestScore := 0.0
+	for i, d := range cands {
+		r := opt.Run(d)
+		s := r.Score(alpha, beta, gamma)
+		if bestIdx < 0 || s < bestScore {
+			bestIdx, bestRes, bestScore = i, r, s
+		}
+	}
+	if bestIdx < 0 {
+		return decomp.Decomposition{}, ilt.Result{}, fmt.Errorf("core: no candidates for %q", l.Name)
+	}
+	return cands[bestIdx], bestRes, nil
+}

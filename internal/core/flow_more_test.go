@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"ldmo/internal/layout"
+)
+
+func TestFlowMaxAttemptsBounds(t *testing.T) {
+	// With MaxAttempts = 1 and a violation-prone configuration, the flow
+	// must force after exactly one attempt.
+	cfg := fastConfig()
+	cfg.ILT.Litho.PrintThreshold = 1e-9 // everything binarizes printed
+	cfg.MaxAttempts = 1
+	f := NewFlow(nil, cfg)
+	res, err := f.Run(twoRowLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+	if !res.Forced {
+		t.Fatal("expected forced run after exhausted attempts")
+	}
+}
+
+func TestNewFlowFillsZeroConfig(t *testing.T) {
+	f := NewFlow(nil, Config{ILT: fastConfig().ILT})
+	l, err := layout.Cell("INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates == 0 {
+		t.Fatal("zero-config flow generated no candidates")
+	}
+}
+
+func TestFlowSecondsConsistent(t *testing.T) {
+	f := NewFlow(nil, fastConfig())
+	l, err := layout.Cell("NAND2_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Clock.PhaseSeconds(PhaseDS) + res.Clock.PhaseSeconds(PhaseMO)
+	if diff := res.Seconds - total; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Seconds %g != DS+MO %g", res.Seconds, total)
+	}
+}

@@ -1,0 +1,141 @@
+package decomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldmo/internal/layout"
+)
+
+// TestGenerateCoversPairwiseVPCombinations verifies the paper's coverage
+// guarantee at the decomposition level: for any two VP patterns, the
+// candidate set contains every one of the four mask-pair combinations
+// (up to the global dual-mask flip, which identifies (a,b) with (1-a,1-b)).
+func TestGenerateCoversPairwiseVPCombinations(t *testing.T) {
+	gen := NewGenerator()
+	for _, cell := range layout.Cells() {
+		classes := layout.Classify(cell.Patterns, gen.Classify)
+		var vp []int
+		for i, c := range classes {
+			if c == layout.ClassVP {
+				vp = append(vp, i)
+			}
+		}
+		if len(vp) < 2 {
+			continue
+		}
+		cands, err := gen.Generate(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < len(vp); a++ {
+			for b := a + 1; b < len(vp); b++ {
+				// Up to the dual flip there are two distinct relative
+				// assignments: same mask and different masks.
+				seen := map[uint8]bool{}
+				for _, d := range cands {
+					seen[d.Assign[vp[a]]^d.Assign[vp[b]]] = true
+				}
+				if !seen[0] || !seen[1] {
+					t.Fatalf("%s: VP pair (%d,%d) combinations missing: %v",
+						cell.Name, vp[a], vp[b], seen)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateCoversThreeWiseRelative verifies strength-3 coverage: any
+// three free factors (VP patterns) see all 2^3 value combinations up to the
+// dual flip, i.e. both relative patterns of each pair within the triple.
+func TestGenerateCoversThreeWiseRelative(t *testing.T) {
+	gen := NewGenerator()
+	l, err := layout.Cell("DFF_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := layout.Classify(l.Patterns, gen.Classify)
+	var vp []int
+	for i, c := range classes {
+		if c == layout.ClassVP {
+			vp = append(vp, i)
+		}
+	}
+	if len(vp) < 3 {
+		t.Skip("cell lacks three VP patterns")
+	}
+	cands, err := gen.Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative signature of the first three VP patterns vs the first one:
+	// 4 combinations must all appear.
+	seen := map[[2]uint8]bool{}
+	for _, d := range cands {
+		seen[[2]uint8{
+			d.Assign[vp[0]] ^ d.Assign[vp[1]],
+			d.Assign[vp[0]] ^ d.Assign[vp[2]],
+		}] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("three-wise relative coverage incomplete: %v", seen)
+	}
+}
+
+// TestGeneratedCandidatesQuick fuzzes the generator over random layouts:
+// every candidate must be canonical, legal, and unique.
+func TestGeneratedCandidatesQuick(t *testing.T) {
+	gen := NewGenerator()
+	rng := rand.New(rand.NewSource(77))
+	layouts, err := layout.GenerateSet(rng.Int63(), 15, layout.DefaultGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range layouts {
+		cands, err := gen.Generate(l)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		seen := map[string]bool{}
+		for _, d := range cands {
+			if d.Assign[0] != 0 {
+				t.Fatalf("%s: non-canonical candidate", l.Name)
+			}
+			if !d.Valid(gen.Classify.NMin) {
+				t.Fatalf("%s: illegal candidate %s", l.Name, d.Key())
+			}
+			if seen[d.Key()] {
+				t.Fatalf("%s: duplicate %s", l.Name, d.Key())
+			}
+			seen[d.Key()] = true
+		}
+	}
+}
+
+// TestTrainingSamplerSupersetOfFreedom: with nmax = +inf (training mode),
+// every pattern without an SP conflict becomes a 3-wise factor, so the
+// candidate count is at least the eval-mode count for layouts without VP/NP
+// split ambiguity.
+func TestTrainingSamplerRichness(t *testing.T) {
+	evalGen := NewGenerator()
+	trainGen := NewGenerator()
+	trainGen.Classify.NMax = math.Inf(1)
+	richer := 0
+	for _, cell := range layout.Cells() {
+		ce, err := evalGen.Generate(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := trainGen.Generate(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) >= len(ce) {
+			richer++
+		}
+	}
+	if richer < 10 {
+		t.Fatalf("training sampling richer on only %d/13 cells", richer)
+	}
+}

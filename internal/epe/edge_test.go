@@ -1,0 +1,86 @@
+package epe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldmo/internal/geom"
+	"ldmo/internal/grid"
+)
+
+func TestMeasureMirrorSymmetry(t *testing.T) {
+	// Mirroring the resist image and the checkpoints together must leave
+	// every EPE unchanged (the invariance training augmentation relies on).
+	img := syntheticEdge(200)
+	mir := img.FlipH()
+	winW := float64(img.W * img.Res)
+	cp := Checkpoint{Pos: geom.Point{X: 200, Y: 256}, Normal: geom.Point{X: 1}}
+	cpMir := Checkpoint{
+		Pos:    geom.Point{X: int(winW) - 200, Y: 256},
+		Normal: geom.Point{X: -1},
+	}
+	m := NewMeter()
+	a := m.Measure(img, []Checkpoint{cp})
+	b := m.Measure(mir, []Checkpoint{cpMir})
+	if math.Abs(a.EPEs[0]-b.EPEs[0]) > 0.5 {
+		t.Fatalf("mirror asymmetry: %g vs %g", a.EPEs[0], b.EPEs[0])
+	}
+}
+
+func TestGenerateCheckpointsEmptyInput(t *testing.T) {
+	if cps := GenerateCheckpoints(nil, 40); len(cps) != 0 {
+		t.Fatalf("nil targets gave %d checkpoints", len(cps))
+	}
+}
+
+func TestGenerateCheckpointsDefaultSpacing(t *testing.T) {
+	// Non-positive spacing must fall back rather than divide by zero.
+	cps := GenerateCheckpoints([]geom.Rect{geom.RectWH(0, 0, 200, 200)}, 0)
+	if len(cps) == 0 {
+		t.Fatal("zero spacing produced no checkpoints")
+	}
+}
+
+func TestMeterThresholdBoundaryQuick(t *testing.T) {
+	// Property: violation counting is consistent with the threshold for
+	// synthetic edges at arbitrary offsets.
+	m := NewMeter()
+	f := func(raw int8) bool {
+		off := float64(raw%30) / 2.0 // [-14.5, 14.5]
+		img := syntheticEdge(200 + off)
+		res := m.Measure(img, []Checkpoint{{Pos: geom.Point{X: 200, Y: 256}, Normal: geom.Point{X: 1}}})
+		measured := res.EPEs[0]
+		wantViolation := math.Abs(measured) > m.Threshold
+		return (res.Violations == 1) == wantViolation
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckPrintViolationsThresholdSensitivity(t *testing.T) {
+	// A faint blob below the print level must not count as printed.
+	g := grid.New(32, 32, 4, geom.Point{})
+	target := geom.RectWH(20, 20, 60, 60)
+	g.FillRect(target, 0.3)
+	v := CheckPrintViolations(g, []geom.Rect{target}, 0.5)
+	if v.Missing != 1 {
+		t.Fatalf("faint print not flagged missing: %+v", v)
+	}
+	v = CheckPrintViolations(g, []geom.Rect{target}, 0.2)
+	if v.Missing != 0 {
+		t.Fatalf("printed blob flagged missing at low threshold: %+v", v)
+	}
+}
+
+func TestViolationsTotalAndAny(t *testing.T) {
+	v := Violations{Bridges: 1, Missing: 2, Extra: 3}
+	if v.Total() != 6 || !v.Any() {
+		t.Fatalf("totals: %+v", v)
+	}
+	var zero Violations
+	if zero.Total() != 0 || zero.Any() {
+		t.Fatal("zero violations misreported")
+	}
+}

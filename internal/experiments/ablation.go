@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ldmo/internal/baseline"
+	"ldmo/internal/core"
+	"ldmo/internal/layout"
+	"ldmo/internal/model"
+)
+
+// Ablation isolates the contribution of the CNN selector by running the
+// same ILT engine under four selection policies over the cell library:
+//
+//	oracle   full ILT on every candidate, keep the best (upper bound)
+//	cnn      the paper's flow (predictor selection + violation fallback)
+//	blind    first generated candidate (no selection)
+//	spacing  litho-blind spacing-uniformity heuristic
+type Ablation struct {
+	Policies []string
+	AvgEPE   []float64
+	Cells    int
+}
+
+// RunAblation executes the four policies.
+func RunAblation(pred *model.Predictor, o Options) (Ablation, error) {
+	cells := layout.Cells()
+	a := Ablation{
+		Policies: []string{"oracle", "cnn", "blind", "spacing"},
+		AvgEPE:   make([]float64, 4),
+		Cells:    len(cells),
+	}
+	flowCfg := o.flowConfig()
+	cnnFlow := core.NewFlow(scorerOf(pred), flowCfg)
+	blindFlow := core.NewFlow(nil, flowCfg)
+	w := model.DefaultScoreWeights()
+	for _, cell := range cells {
+		_, oracleRes, err := core.OracleSelect(cell, flowCfg, w.Alpha, w.Beta, w.Gamma)
+		if err != nil {
+			return a, fmt.Errorf("ablation/oracle/%s: %w", cell.Name, err)
+		}
+		a.AvgEPE[0] += float64(oracleRes.EPE.Violations)
+
+		cnnRes, err := cnnFlow.Run(cell)
+		if err != nil {
+			return a, fmt.Errorf("ablation/cnn/%s: %w", cell.Name, err)
+		}
+		a.AvgEPE[1] += float64(cnnRes.ILT.EPE.Violations)
+
+		blindRes, err := blindFlow.Run(cell)
+		if err != nil {
+			return a, fmt.Errorf("ablation/blind/%s: %w", cell.Name, err)
+		}
+		a.AvgEPE[2] += float64(blindRes.ILT.EPE.Violations)
+
+		spacingRes, err := baseline.TwoStage("spacing", cell, o.iltConfig(), o.clockModelOrDefault())
+		if err != nil {
+			return a, fmt.Errorf("ablation/spacing/%s: %w", cell.Name, err)
+		}
+		a.AvgEPE[3] += float64(spacingRes.ILT.EPE.Violations)
+
+		o.logf("ablation %-10s oracle=%d cnn=%d blind=%d spacing=%d\n", cell.Name,
+			oracleRes.EPE.Violations, cnnRes.ILT.EPE.Violations,
+			blindRes.ILT.EPE.Violations, spacingRes.ILT.EPE.Violations)
+	}
+	for i := range a.AvgEPE {
+		a.AvgEPE[i] /= float64(len(cells))
+	}
+	return a, nil
+}
+
+// Render prints the policy comparison.
+func (a Ablation) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: decomposition-selection policy (avg EPE over %d cells)\n", a.Cells)
+	for i, p := range a.Policies {
+		fmt.Fprintf(w, "%-10s %6.2f\n", p, a.AvgEPE[i])
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ldmo/internal/model"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.poolSize() != 240 {
+		t.Fatalf("default pool = %d", o.poolSize())
+	}
+	o.Fast = true
+	if o.poolSize() != 100 {
+		t.Fatalf("fast pool = %d", o.poolSize())
+	}
+	o.PoolSize = 7
+	if o.poolSize() != 7 {
+		t.Fatalf("explicit pool = %d", o.poolSize())
+	}
+	if o.iltConfig().Litho.Resolution != 8 {
+		t.Fatal("fast mode must coarsen the raster")
+	}
+	o.Fast = false
+	if o.iltConfig().Litho.Resolution != 4 {
+		t.Fatal("default raster must be 4nm")
+	}
+}
+
+func TestPoolGeneration(t *testing.T) {
+	o := Options{Fast: true, Seed: 3, PoolSize: 10}
+	pool, err := o.Pool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 10 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	for _, l := range pool {
+		if len(l.Patterns) < 4 {
+			t.Fatalf("pool layout %s has %d patterns, want >= 4", l.Name, len(l.Patterns))
+		}
+	}
+}
+
+func TestTrainPredictorUsesProvided(t *testing.T) {
+	pred, err := model.New(model.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TrainPredictor(Options{Predictor: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pred {
+		t.Fatal("provided predictor not reused")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	tab := Table1{
+		Rows: []Table1Row{{ID: 1, Cell: "BUF_X1", EPE: [4]int{3, 2, 1, 0},
+			Time: [4]float64{40, 41, 80, 10}}},
+		AvgEPE:    [4]float64{3, 2, 1, 0.5},
+		AvgTime:   [4]float64{40, 41, 80, 10},
+		RatioEPE:  [4]float64{6, 4, 2, 1},
+		RatioTime: [4]float64{4, 4.1, 8, 1},
+	}
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, want := range []string{"TABLE I", "BUF_X1", "[16]+[6]", "Ours", "Ave.", "8.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1bRunAndRender(t *testing.T) {
+	f, err := RunFig1b(Options{Fast: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Curves) < 2 {
+		t.Fatalf("only %d curves", len(f.Curves))
+	}
+	for i, c := range f.Curves {
+		if len(c) < 10 {
+			t.Fatalf("curve %d has %d points", i, len(c))
+		}
+	}
+	var b strings.Builder
+	f.Render(&b)
+	if !strings.Contains(b.String(), "DECMP#1") {
+		t.Fatal("render missing series name")
+	}
+}
+
+func TestFig1cFraction(t *testing.T) {
+	f := Fig1c{DSSeconds: 59.1, MOSeconds: 40.9}
+	if frac := f.DSFraction(); frac < 0.59 || frac > 0.592 {
+		t.Fatalf("fraction = %g", frac)
+	}
+	if (Fig1c{}).DSFraction() != 0 {
+		t.Fatal("empty fraction must be 0")
+	}
+	var b strings.Builder
+	f.Render(&b)
+	if !strings.Contains(b.String(), "DS") || !strings.Contains(b.String(), "MO") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFig7Render(t *testing.T) {
+	f := Fig7{Entries: []Fig7Entry{{Cell: "BUF_X1", OursEPE: 0, ICCADEPE: 2}}}
+	var b strings.Builder
+	f.Render(&b)
+	if !strings.Contains(b.String(), "BUF_X1") {
+		t.Fatal("render missing cell")
+	}
+}
+
+func TestFig8Ratios(t *testing.T) {
+	f := Fig8{OursEPE: 1, RandomEPE: 2, OursBuildSec: 10, RandomBuildSec: 11}
+	if f.EPERatio() != 2 {
+		t.Fatalf("epe ratio = %g", f.EPERatio())
+	}
+	if f.RuntimeRatio() != 1.1 {
+		t.Fatalf("runtime ratio = %g", f.RuntimeRatio())
+	}
+	zero := Fig8{}
+	if zero.EPERatio() != 0 || zero.RuntimeRatio() != 0 {
+		t.Fatal("zero ratios must be 0")
+	}
+	var b strings.Builder
+	f.Render(&b)
+	if !strings.Contains(b.String(), "Random sampling") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestScorerOfNil(t *testing.T) {
+	if scorerOf(nil) != nil {
+		t.Fatal("nil predictor must give nil scorer (typed-nil interface bug)")
+	}
+	pred, err := model.New(model.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scorerOf(pred) == nil {
+		t.Fatal("non-nil predictor must give scorer")
+	}
+}
+
+func TestRunFig7NoImages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 runs full flows")
+	}
+	f, err := RunFig7(nil, Options{Fast: true, Seed: 1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 3 {
+		t.Fatalf("entries = %d", len(f.Entries))
+	}
+	names := map[string]bool{}
+	for _, e := range f.Entries {
+		names[e.Cell] = true
+	}
+	for _, want := range []string{"AOI211_X1", "NAND3_X2", "BUF_X1"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestAblationRender(t *testing.T) {
+	a := Ablation{
+		Policies: []string{"oracle", "cnn", "blind", "spacing"},
+		AvgEPE:   []float64{0.5, 0.7, 2.2, 1.4},
+		Cells:    13,
+	}
+	var b strings.Builder
+	a.Render(&b)
+	for _, want := range []string{"oracle", "cnn", "blind", "spacing", "13"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("ablation render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ldmo/internal/baseline"
+	"ldmo/internal/core"
+	"ldmo/internal/decomp"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/model"
+	"ldmo/internal/sampling"
+	"ldmo/internal/simclock"
+)
+
+// Fig1b holds the EPE-vs-iteration trajectories of several decompositions of
+// one layout (the paper's motivating figure: trajectories cross, so early
+// printability misranks candidates).
+type Fig1b struct {
+	Cell   string
+	Keys   []string
+	Curves [][]int // per decomposition, EPE violations per iteration
+}
+
+// RunFig1b optimizes the first several decomposition candidates of a
+// candidate-rich cell with full-length ILT and records the traces.
+func RunFig1b(o Options) (Fig1b, error) {
+	cell, err := layout.Cell("AOI211_X1")
+	if err != nil {
+		return Fig1b{}, err
+	}
+	gen := decomp.NewGenerator()
+	cands, err := gen.Generate(cell)
+	if err != nil {
+		return Fig1b{}, err
+	}
+	if len(cands) > 3 {
+		cands = cands[:3]
+	}
+	cfg := o.iltConfig()
+	cfg.AbortOnViolation = false
+	opt, err := ilt.NewOptimizer(cell, cfg)
+	if err != nil {
+		return Fig1b{}, err
+	}
+	out := Fig1b{Cell: cell.Name}
+	for i, d := range cands {
+		r := opt.Run(d)
+		curve := make([]int, len(r.Trace))
+		for j, s := range r.Trace {
+			curve[j] = s.EPEViolations
+		}
+		out.Keys = append(out.Keys, fmt.Sprintf("DECMP#%d %s", i+1, d.Key()))
+		out.Curves = append(out.Curves, curve)
+		o.logf("fig1b %s: final EPE %d\n", d.Key(), r.EPE.Violations)
+	}
+	return out, nil
+}
+
+// Render prints the trajectories as CSV-ish series plus a terminal sketch.
+func (f Fig1b) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 1(b): EPE convergence of decompositions of %s\n", f.Cell)
+	fmt.Fprint(w, "iter")
+	for _, k := range f.Keys {
+		fmt.Fprintf(w, ",%s", k)
+	}
+	fmt.Fprintln(w)
+	maxLen := 0
+	for _, c := range f.Curves {
+		if len(c) > maxLen {
+			maxLen = len(c)
+		}
+	}
+	for it := 0; it < maxLen; it++ {
+		fmt.Fprintf(w, "%d", it+1)
+		for _, c := range f.Curves {
+			if it < len(c) {
+				fmt.Fprintf(w, ",%d", c[it])
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig1c is the runtime breakdown of the ICCAD'17-style unified flow.
+type Fig1c struct {
+	DSSeconds, MOSeconds float64
+}
+
+// DSFraction returns the decomposition-selection share (paper: 59.1%).
+func (f Fig1c) DSFraction() float64 {
+	total := f.DSSeconds + f.MOSeconds
+	if total == 0 {
+		return 0
+	}
+	return f.DSSeconds / total
+}
+
+// RunFig1c accumulates the DS/MO split of the unified greedy flow over the
+// cell library.
+func RunFig1c(o Options) (Fig1c, error) {
+	var out Fig1c
+	iltCfg := o.iltConfig()
+	gc := baseline.DefaultGreedyConfig()
+	for _, cell := range layout.Cells() {
+		r, _, err := baseline.UnifiedGreedy(cell, iltCfg, gc, simclock.DefaultModel())
+		if err != nil {
+			return out, fmt.Errorf("fig1c/%s: %w", cell.Name, err)
+		}
+		out.DSSeconds += r.DSSeconds
+		out.MOSeconds += r.MOSeconds
+	}
+	return out, nil
+}
+
+// Render prints the percentage split like the paper's pie chart.
+func (f Fig1c) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 1(c): runtime breakdown of the unified greedy flow [10]\n")
+	fmt.Fprintf(w, "DS %6.1f%%  (%.1fs)\n", 100*f.DSFraction(), f.DSSeconds)
+	fmt.Fprintf(w, "MO %6.1f%%  (%.1fs)\n", 100*(1-f.DSFraction()), f.MOSeconds)
+}
+
+// Fig7Entry compares our flow against the ICCAD'17-style flow on one of the
+// three cells the paper pictures.
+type Fig7Entry struct {
+	Cell      string
+	OursEPE   int
+	ICCADEPE  int
+	OursFiles []string // written PGM images (target, masks, print)
+}
+
+// Fig7 is the printed-image comparison experiment.
+type Fig7 struct {
+	Entries []Fig7Entry
+	Dir     string
+}
+
+// RunFig7 optimizes the three Fig. 7 cells with both flows and dumps
+// grayscale PGM images under dir (created when missing; empty dir skips
+// image output).
+func RunFig7(pred *model.Predictor, o Options, dir string) (Fig7, error) {
+	out := Fig7{Dir: dir}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return out, err
+		}
+	}
+	iltCfg := o.iltConfig()
+	flow := core.NewFlow(scorerOf(pred), o.flowConfig())
+	gc := baseline.DefaultGreedyConfig()
+	for _, name := range []string{"AOI211_X1", "NAND3_X2", "BUF_X1"} {
+		cell, err := layout.Cell(name)
+		if err != nil {
+			return out, err
+		}
+		ours, err := flow.Run(cell)
+		if err != nil {
+			return out, fmt.Errorf("fig7/%s: %w", name, err)
+		}
+		iccad, _, err := baseline.UnifiedGreedy(cell, iltCfg, gc, simclock.DefaultModel())
+		if err != nil {
+			return out, fmt.Errorf("fig7/%s: %w", name, err)
+		}
+		e := Fig7Entry{Cell: name, OursEPE: ours.ILT.EPE.Violations, ICCADEPE: iccad.ILT.EPE.Violations}
+		if dir != "" {
+			res := o.iltConfig().Litho.Resolution
+			files := map[string]interface {
+				SavePGM(string, float64, float64) error
+			}{
+				"target":      cell.Rasterize(res),
+				"ours_print":  ours.ILT.Printed,
+				"ours_m1":     ours.ILT.M1,
+				"ours_m2":     ours.ILT.M2,
+				"iccad_print": iccad.ILT.Printed,
+			}
+			for tag, img := range files {
+				path := filepath.Join(dir, fmt.Sprintf("%s_%s.pgm", strings.ToLower(name), tag))
+				if err := img.SavePGM(path, 0, 1); err != nil {
+					return out, err
+				}
+				e.OursFiles = append(e.OursFiles, path)
+			}
+		}
+		out.Entries = append(out.Entries, e)
+		o.logf("fig7 %-10s ours EPE=%d  iccad17 EPE=%d\n", name, e.OursEPE, e.ICCADEPE)
+	}
+	return out, nil
+}
+
+// Render prints the per-cell comparison.
+func (f Fig7) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 7: printed-image comparison vs ICCAD'17 [10]")
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "cell", "ICCAD'17 EPE", "Ours EPE")
+	for _, e := range f.Entries {
+		fmt.Fprintf(w, "%-12s %12d %12d\n", e.Cell, e.ICCADEPE, e.OursEPE)
+	}
+	if f.Dir != "" {
+		fmt.Fprintf(w, "images written under %s\n", f.Dir)
+	}
+}
+
+// Fig8 compares the paper's sampling strategy against random sampling at
+// equal labeling budget.
+type Fig8 struct {
+	// Average EPE violations of flows driven by each predictor over the
+	// cell library.
+	OursEPE, RandomEPE float64
+	// Wall-clock seconds spent building each training set + training.
+	OursBuildSec, RandomBuildSec float64
+	// Dataset sizes (equalized).
+	Samples int
+}
+
+// EPERatio returns random/ours (paper: about 2x).
+func (f Fig8) EPERatio() float64 {
+	if f.OursEPE == 0 {
+		return 0
+	}
+	return f.RandomEPE / f.OursEPE
+}
+
+// RuntimeRatio returns the training-pipeline wall ratio (paper: about 1x).
+func (f Fig8) RuntimeRatio() float64 {
+	if f.OursBuildSec == 0 {
+		return 0
+	}
+	return f.RandomBuildSec / f.OursBuildSec
+}
+
+// RunFig8 builds both training sets from the same pool, trains two identical
+// architectures, and evaluates both flows over the cell library.
+func RunFig8(o Options) (Fig8, error) {
+	pool, err := o.Pool()
+	if err != nil {
+		return Fig8{}, err
+	}
+	sc := o.samplingConfig()
+	tc := o.trainConfig()
+
+	start := time.Now()
+	selected, err := sampling.SelectLayouts(pool, sc)
+	if err != nil {
+		return Fig8{}, err
+	}
+	dsOurs, _, err := sampling.BuildDataset(selected, sc, o.Log)
+	if err != nil {
+		return Fig8{}, err
+	}
+	predOurs, err := model.New(model.TinyConfig())
+	if err != nil {
+		return Fig8{}, err
+	}
+	if _, err := predOurs.Train(dsOurs.Augmented(), tc); err != nil {
+		return Fig8{}, err
+	}
+	oursBuild := time.Since(start).Seconds()
+
+	start = time.Now()
+	dsRand, _, err := sampling.BuildRandomDataset(pool, dsOurs.Len(), sc, o.Log)
+	if err != nil {
+		return Fig8{}, err
+	}
+	predRand, err := model.New(model.TinyConfig())
+	if err != nil {
+		return Fig8{}, err
+	}
+	if _, err := predRand.Train(dsRand.Augmented(), tc); err != nil {
+		return Fig8{}, err
+	}
+	randBuild := time.Since(start).Seconds()
+
+	out := Fig8{OursBuildSec: oursBuild, RandomBuildSec: randBuild, Samples: dsOurs.Len()}
+	evalFlow := func(pred *model.Predictor) (float64, error) {
+		flow := core.NewFlow(pred, o.flowConfig())
+		total := 0.0
+		cells := layout.Cells()
+		for _, cell := range cells {
+			r, err := flow.Run(cell)
+			if err != nil {
+				return 0, err
+			}
+			total += float64(r.ILT.EPE.Violations)
+		}
+		return total / float64(len(cells)), nil
+	}
+	if out.OursEPE, err = evalFlow(predOurs); err != nil {
+		return out, err
+	}
+	if out.RandomEPE, err = evalFlow(predRand); err != nil {
+		return out, err
+	}
+	o.logf("fig8 ours EPE=%.2f random EPE=%.2f (ratio %.2f)\n",
+		out.OursEPE, out.RandomEPE, out.EPERatio())
+	return out, nil
+}
+
+// Render prints the two-bar comparison of the paper's Fig. 8.
+func (f Fig8) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 8: sampling strategy comparison (equal labeling budget)")
+	fmt.Fprintf(w, "%-18s %10s %12s\n", "strategy", "avg EPE#", "build time(s)")
+	fmt.Fprintf(w, "%-18s %10.2f %12.1f\n", "Ours (SIFT+3wise)", f.OursEPE, f.OursBuildSec)
+	fmt.Fprintf(w, "%-18s %10.2f %12.1f\n", "Random sampling", f.RandomEPE, f.RandomBuildSec)
+	fmt.Fprintf(w, "EPE ratio (random/ours): %.2f   runtime ratio: %.2f   samples: %d\n",
+		f.EPERatio(), f.RuntimeRatio(), f.Samples)
+}

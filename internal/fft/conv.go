@@ -1,0 +1,171 @@
+package fft
+
+import "fmt"
+
+// Plan is a reusable workspace for repeated "same"-size 2-D convolutions of a
+// w x h image with kw x kh kernels. The ILT loop convolves the same kernels
+// against evolving masks hundreds of times per run, so the plan caches the
+// padded power-of-two geometry and scratch buffers, and kernels are
+// transformed once with TransformKernel.
+//
+// A Plan is not safe for concurrent use; create one per goroutine.
+type Plan struct {
+	W, H   int // image size
+	KW, KH int // kernel size (odd in both dimensions)
+	PW, PH int // padded transform size (powers of two)
+	buf    []complex128
+}
+
+// NewPlan builds a convolution plan. Kernel dimensions must be odd so the
+// kernel has an unambiguous center pixel.
+func NewPlan(w, h, kw, kh int) *Plan {
+	if w <= 0 || h <= 0 || kw <= 0 || kh <= 0 {
+		panic(fmt.Sprintf("fft: invalid plan dims %dx%d kernel %dx%d", w, h, kw, kh))
+	}
+	if kw%2 == 0 || kh%2 == 0 {
+		panic(fmt.Sprintf("fft: kernel dims must be odd, got %dx%d", kw, kh))
+	}
+	pw := NextPow2(w + kw - 1)
+	ph := NextPow2(h + kh - 1)
+	return &Plan{W: w, H: h, KW: kw, KH: kh, PW: pw, PH: ph,
+		buf: make([]complex128, pw*ph)}
+}
+
+// TransformKernel returns the frequency-domain representation of kernel
+// (row-major kw x kh, center at ((kw-1)/2, (kh-1)/2)), wrapped so the center
+// sits at the padded origin. The result can be passed to Convolve and
+// Correlate any number of times.
+func (p *Plan) TransformKernel(kernel []float64) []complex128 {
+	if len(kernel) != p.KW*p.KH {
+		panic(fmt.Sprintf("fft: kernel length %d != %dx%d", len(kernel), p.KW, p.KH))
+	}
+	kf := make([]complex128, p.PW*p.PH)
+	cx, cy := (p.KW-1)/2, (p.KH-1)/2
+	for ky := 0; ky < p.KH; ky++ {
+		for kx := 0; kx < p.KW; kx++ {
+			// Shift so the kernel center lands on (0,0), wrapping
+			// negative offsets to the far edge of the padded field.
+			x := (kx - cx + p.PW) % p.PW
+			y := (ky - cy + p.PH) % p.PH
+			kf[y*p.PW+x] = complex(kernel[ky*p.KW+kx], 0)
+		}
+	}
+	FFT2D(kf, p.PW, p.PH)
+	return kf
+}
+
+// Convolve computes the "same"-size zero-padded linear convolution of img
+// (row-major W x H) with a transformed kernel and writes it to out.
+// out(x,y) = sum_{i,j} img(x-i, y-j) * kernel(center+(i,j)).
+func (p *Plan) Convolve(img []float64, kfft []complex128, out []float64) {
+	p.apply(img, kfft, out, false)
+}
+
+// Correlate computes the "same"-size zero-padded cross-correlation of img
+// with a transformed kernel: out(x,y) = sum_{i,j} img(x+i, y+j) *
+// kernel(center+(i,j)). For symmetric kernels this equals Convolve; the ILT
+// gradient needs the correlated (adjoint) form for asymmetric ones.
+func (p *Plan) Correlate(img []float64, kfft []complex128, out []float64) {
+	p.apply(img, kfft, out, true)
+}
+
+func (p *Plan) apply(img []float64, kfft []complex128, out []float64, conj bool) {
+	spec := p.Forward(img)
+	p.ApplySpec(spec, kfft, out, conj)
+}
+
+// Forward zero-pads img into the plan's transform field and returns its
+// spectrum as a fresh slice. One Forward result can be combined with many
+// transformed kernels via ApplySpec, which is how the SOCS simulator shares
+// the mask transform across its kernel bank.
+func (p *Plan) Forward(img []float64) []complex128 {
+	if len(img) != p.W*p.H {
+		panic(fmt.Sprintf("fft: image length %d != %dx%d", len(img), p.W, p.H))
+	}
+	spec := make([]complex128, p.PW*p.PH)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			spec[y*p.PW+x] = complex(img[y*p.W+x], 0)
+		}
+	}
+	FFT2D(spec, p.PW, p.PH)
+	return spec
+}
+
+// ApplySpec multiplies a Forward spectrum with a transformed kernel
+// (conjugated when conj is true, giving correlation) and inverse-transforms
+// the product into out. spec is not modified.
+func (p *Plan) ApplySpec(spec, kfft []complex128, out []float64, conj bool) {
+	if len(out) != p.W*p.H {
+		panic(fmt.Sprintf("fft: out length %d != %dx%d", len(out), p.W, p.H))
+	}
+	if len(kfft) != p.PW*p.PH || len(spec) != p.PW*p.PH {
+		panic("fft: spectrum or kernel transform from a different plan")
+	}
+	if conj {
+		for i := range p.buf {
+			k := kfft[i]
+			p.buf[i] = spec[i] * complex(real(k), -imag(k))
+		}
+	} else {
+		for i := range p.buf {
+			p.buf[i] = spec[i] * kfft[i]
+		}
+	}
+	IFFT2D(p.buf, p.PW, p.PH)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			out[y*p.W+x] = real(p.buf[y*p.PW+x])
+		}
+	}
+}
+
+// DirectConvolve is the O(W*H*KW*KH) reference implementation of the same
+// zero-padded convolution Plan.Convolve computes. It exists as the test
+// oracle and for tiny kernels where FFT overhead dominates.
+func DirectConvolve(img []float64, w, h int, kernel []float64, kw, kh int, out []float64) {
+	cx, cy := (kw-1)/2, (kh-1)/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := 0.0
+			for ky := 0; ky < kh; ky++ {
+				iy := y - (ky - cy)
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := x - (kx - cx)
+					if ix < 0 || ix >= w {
+						continue
+					}
+					s += img[iy*w+ix] * kernel[ky*kw+kx]
+				}
+			}
+			out[y*w+x] = s
+		}
+	}
+}
+
+// DirectCorrelate is the reference for Plan.Correlate.
+func DirectCorrelate(img []float64, w, h int, kernel []float64, kw, kh int, out []float64) {
+	cx, cy := (kw-1)/2, (kh-1)/2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := 0.0
+			for ky := 0; ky < kh; ky++ {
+				iy := y + (ky - cy)
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < kw; kx++ {
+					ix := x + (kx - cx)
+					if ix < 0 || ix >= w {
+						continue
+					}
+					s += img[iy*w+ix] * kernel[ky*kw+kx]
+				}
+			}
+			out[y*w+x] = s
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package fft provides the radix-2 fast Fourier transforms and FFT-based
+// convolution used by the lithography simulator. Aerial-image formation in
+// the SOCS model is a set of 2-D convolutions of the mask with the optical
+// kernels; on 224x224-class rasters the FFT path is the difference between a
+// usable ILT loop and an unusable one.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT performs an in-place forward radix-2 Cooley-Tukey transform of x.
+// len(x) must be a power of two; it panics otherwise, since a bad length is
+// always a programming error in this codebase (callers pad explicitly).
+func FFT(x []complex128) { transform(x, false) }
+
+// IFFT performs an in-place inverse transform of x, including the 1/N
+// normalization, so IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	// Iterative butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// FFT2D transforms a w x h row-major complex raster in place (rows first,
+// then columns). Both w and h must be powers of two.
+func FFT2D(data []complex128, w, h int) { transform2D(data, w, h, false) }
+
+// IFFT2D inverts FFT2D, including normalization.
+func IFFT2D(data []complex128, w, h int) { transform2D(data, w, h, true) }
+
+func transform2D(data []complex128, w, h int, inverse bool) {
+	if len(data) != w*h {
+		panic(fmt.Sprintf("fft: data length %d != %d x %d", len(data), w, h))
+	}
+	do := FFT
+	if inverse {
+		do = IFFT
+	}
+	// Rows.
+	for y := 0; y < h; y++ {
+		do(data[y*w : (y+1)*w])
+	}
+	// Columns, via a scratch strip.
+	col := make([]complex128, h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			col[y] = data[y*w+x]
+		}
+		do(col)
+		for y := 0; y < h; y++ {
+			data[y*w+x] = col[y]
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package gds reads and writes layouts as GDSII stream files, the de facto
+// interchange format of physical design. The subset implemented is what
+// contact layouts need: one structure per layout, BOUNDARY elements with
+// axis-aligned rectangular polygons, 1nm database units. The simulation
+// window is stored as a boundary on WindowLayer so layouts round-trip
+// exactly; patterns live on ContactLayer.
+//
+// Files written here are deterministic (all timestamps zero), so golden
+// tests and reproducible dataset exports work.
+package gds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ldmo/internal/geom"
+	"ldmo/internal/layout"
+)
+
+// GDSII layer assignments used by this package.
+const (
+	// WindowLayer carries one rectangle per structure: the simulation
+	// window.
+	WindowLayer = 0
+	// ContactLayer carries the contact patterns.
+	ContactLayer = 1
+)
+
+// GDSII record types (subset).
+const (
+	recHeader   = 0x0002
+	recBgnLib   = 0x0102
+	recLibName  = 0x0206
+	recUnits    = 0x0305
+	recBgnStr   = 0x0502
+	recStrName  = 0x0606
+	recEndStr   = 0x0700
+	recBoundary = 0x0800
+	recLayer    = 0x0D02
+	recDatatype = 0x0E02
+	recXY       = 0x1003
+	recEndEl    = 0x1100
+	recEndLib   = 0x0400
+)
+
+// writeRecord emits one GDSII record: 2-byte length (including header),
+// 2-byte type code, payload.
+func writeRecord(w io.Writer, recType uint16, payload []byte) error {
+	total := len(payload) + 4
+	if total > math.MaxUint16 {
+		return fmt.Errorf("gds: record 0x%04x too long (%d bytes)", recType, total)
+	}
+	hdr := [4]byte{}
+	binary.BigEndian.PutUint16(hdr[0:], uint16(total))
+	binary.BigEndian.PutUint16(hdr[2:], recType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func int16Payload(vals ...int16) []byte {
+	out := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+func int32Payload(vals ...int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// asciiPayload pads the name to even length with NUL, per the spec.
+func asciiPayload(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// gdsReal8 encodes an excess-64 base-16 GDSII real.
+func gdsReal8(v float64) []byte {
+	out := make([]byte, 8)
+	if v == 0 {
+		return out
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	out[0] = sign | byte(exp+64)
+	mant := v
+	for i := 1; i < 8; i++ {
+		mant *= 256
+		d := math.Floor(mant)
+		out[i] = byte(d)
+		mant -= d
+	}
+	return out
+}
+
+// parseReal8 decodes an excess-64 base-16 GDSII real.
+func parseReal8(b []byte) float64 {
+	if len(b) < 8 {
+		return 0
+	}
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7F) - 64
+	mant := 0.0
+	for i := 7; i >= 1; i-- {
+		mant = (mant + float64(b[i])) / 256
+	}
+	return sign * mant * math.Pow(16, float64(exp))
+}
+
+// boundary emits one rectangular BOUNDARY element.
+func boundary(w io.Writer, layer int16, r geom.Rect) error {
+	if err := writeRecord(w, recBoundary, nil); err != nil {
+		return err
+	}
+	if err := writeRecord(w, recLayer, int16Payload(layer)); err != nil {
+		return err
+	}
+	if err := writeRecord(w, recDatatype, int16Payload(0)); err != nil {
+		return err
+	}
+	xy := int32Payload(
+		int32(r.X0), int32(r.Y0),
+		int32(r.X1), int32(r.Y0),
+		int32(r.X1), int32(r.Y1),
+		int32(r.X0), int32(r.Y1),
+		int32(r.X0), int32(r.Y0), // closed loop
+	)
+	if err := writeRecord(w, recXY, xy); err != nil {
+		return err
+	}
+	return writeRecord(w, recEndEl, nil)
+}
+
+// Write streams the layouts as one GDSII library, one structure per layout.
+func Write(w io.Writer, layouts []layout.Layout) error {
+	if err := writeRecord(w, recHeader, int16Payload(600)); err != nil {
+		return err
+	}
+	// Deterministic zero timestamps (12 int16 fields).
+	if err := writeRecord(w, recBgnLib, int16Payload(make([]int16, 12)...)); err != nil {
+		return err
+	}
+	if err := writeRecord(w, recLibName, asciiPayload("LDMO")); err != nil {
+		return err
+	}
+	// Units: 1 user unit = 1nm = 1e-9 m; database unit = user unit.
+	units := append(gdsReal8(1), gdsReal8(1e-9)...)
+	if err := writeRecord(w, recUnits, units); err != nil {
+		return err
+	}
+	for _, l := range layouts {
+		if l.Name == "" {
+			return fmt.Errorf("gds: layout without a name")
+		}
+		if err := writeRecord(w, recBgnStr, int16Payload(make([]int16, 12)...)); err != nil {
+			return err
+		}
+		if err := writeRecord(w, recStrName, asciiPayload(l.Name)); err != nil {
+			return err
+		}
+		if err := boundary(w, WindowLayer, l.Window); err != nil {
+			return err
+		}
+		for _, r := range l.Patterns {
+			if err := boundary(w, ContactLayer, r); err != nil {
+				return err
+			}
+		}
+		if err := writeRecord(w, recEndStr, nil); err != nil {
+			return err
+		}
+	}
+	return writeRecord(w, recEndLib, nil)
+}
+
+// record is one parsed GDSII record.
+type record struct {
+	typ  uint16
+	data []byte
+}
+
+func readRecord(r io.Reader) (record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return record{}, err
+	}
+	total := int(binary.BigEndian.Uint16(hdr[0:]))
+	typ := binary.BigEndian.Uint16(hdr[2:])
+	if total < 4 {
+		return record{}, fmt.Errorf("gds: record length %d too short", total)
+	}
+	data := make([]byte, total-4)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return record{}, fmt.Errorf("gds: truncated record 0x%04x: %w", typ, err)
+	}
+	return record{typ: typ, data: data}, nil
+}
+
+// Read parses a GDSII library written by Write (or any library restricted to
+// the supported subset: BOUNDARY elements with rectangular 5-point loops).
+func Read(r io.Reader) ([]layout.Layout, error) {
+	first, err := readRecord(r)
+	if err != nil {
+		return nil, fmt.Errorf("gds: reading header: %w", err)
+	}
+	if first.typ != recHeader {
+		return nil, fmt.Errorf("gds: not a GDSII stream (first record 0x%04x)", first.typ)
+	}
+	var layouts []layout.Layout
+	var cur *layout.Layout
+	curLayer := int16(-1)
+	scale := 1.0 // database units per nm; set by UNITS
+	for {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			return nil, fmt.Errorf("gds: missing ENDLIB")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.typ {
+		case recEndLib:
+			return layouts, nil
+		case recUnits:
+			if len(rec.data) >= 16 {
+				meters := parseReal8(rec.data[8:16])
+				scale = meters / 1e-9
+			}
+		case recBgnStr:
+			layouts = append(layouts, layout.Layout{})
+			cur = &layouts[len(layouts)-1]
+		case recStrName:
+			if cur != nil {
+				cur.Name = string(trimNul(rec.data))
+			}
+		case recLayer:
+			if len(rec.data) >= 2 {
+				curLayer = int16(binary.BigEndian.Uint16(rec.data))
+			}
+		case recXY:
+			if cur == nil {
+				continue
+			}
+			rect, err := xyToRect(rec.data, scale)
+			if err != nil {
+				return nil, err
+			}
+			switch curLayer {
+			case WindowLayer:
+				cur.Window = rect
+			case ContactLayer:
+				cur.Patterns = append(cur.Patterns, rect)
+			}
+		case recEndStr:
+			cur = nil
+		}
+	}
+}
+
+func trimNul(b []byte) []byte {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// xyToRect converts a closed rectangular point loop to a Rect.
+func xyToRect(data []byte, scale float64) (geom.Rect, error) {
+	if len(data)%8 != 0 || len(data) < 16 {
+		return geom.Rect{}, fmt.Errorf("gds: malformed XY record (%d bytes)", len(data))
+	}
+	n := len(data) / 8
+	minX, minY := math.MaxInt32, math.MaxInt32
+	maxX, maxY := math.MinInt32, math.MinInt32
+	for i := 0; i < n; i++ {
+		x := int(int32(binary.BigEndian.Uint32(data[8*i:])))
+		y := int(int32(binary.BigEndian.Uint32(data[8*i+4:])))
+		minX = min(minX, x)
+		minY = min(minY, y)
+		maxX = max(maxX, x)
+		maxY = max(maxY, y)
+	}
+	s := func(v int) int { return int(math.Round(float64(v) * scale)) }
+	return geom.NewRect(s(minX), s(minY), s(maxX), s(maxY)), nil
+}

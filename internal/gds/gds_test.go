@@ -1,0 +1,170 @@
+package gds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldmo/internal/layout"
+)
+
+func TestRoundTripCellLibrary(t *testing.T) {
+	cells := layout.Cells()
+	var buf bytes.Buffer
+	if err := Write(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("read %d layouts, wrote %d", len(got), len(cells))
+	}
+	for i, want := range cells {
+		g := got[i]
+		if g.Name != want.Name {
+			t.Fatalf("layout %d name %q != %q", i, g.Name, want.Name)
+		}
+		if g.Window != want.Window {
+			t.Fatalf("%s window %v != %v", want.Name, g.Window, want.Window)
+		}
+		if len(g.Patterns) != len(want.Patterns) {
+			t.Fatalf("%s patterns %d != %d", want.Name, len(g.Patterns), len(want.Patterns))
+		}
+		for j := range want.Patterns {
+			if g.Patterns[j] != want.Patterns[j] {
+				t.Fatalf("%s pattern %d: %v != %v", want.Name, j, g.Patterns[j], want.Patterns[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripGeneratedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		set, err := layout.GenerateSet(seed, 3, layout.DefaultGenParams())
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, set); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(set) {
+			return false
+		}
+		for i := range set {
+			if got[i].Name != set[i].Name || len(got[i].Patterns) != len(set[i].Patterns) {
+				return false
+			}
+			for j := range set[i].Patterns {
+				if got[i].Patterns[j] != set[i].Patterns[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	cells := layout.Cells()[:3]
+	var a, b bytes.Buffer
+	if err := Write(&a, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("GDS output not byte-deterministic")
+	}
+}
+
+func TestStreamStructure(t *testing.T) {
+	l, err := layout.Cell("INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []layout.Layout{l}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// First record: HEADER with version 600.
+	if binary.BigEndian.Uint16(data[2:]) != recHeader {
+		t.Fatal("stream does not start with HEADER")
+	}
+	if binary.BigEndian.Uint16(data[4:]) != 600 {
+		t.Fatalf("version = %d", binary.BigEndian.Uint16(data[4:]))
+	}
+	// Last record: ENDLIB.
+	if binary.BigEndian.Uint16(data[len(data)-2:]) != recEndLib {
+		t.Fatal("stream does not end with ENDLIB")
+	}
+}
+
+func TestReal8RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, 1e-9, 0.25, 12345.678, -3.5, 1e12} {
+		got := parseReal8(gdsReal8(v))
+		if v == 0 {
+			if got != 0 {
+				t.Fatalf("real8(0) = %g", got)
+			}
+			continue
+		}
+		if math.Abs(got-v) > math.Abs(v)*1e-12 {
+			t.Fatalf("real8 roundtrip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{0, 8, 0xFF, 0xFF, 1, 2, 3, 4})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// A valid header but no ENDLIB.
+	var buf bytes.Buffer
+	if err := writeRecord(&buf, recHeader, int16Payload(600)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("missing ENDLIB accepted")
+	}
+}
+
+func TestWriteRejectsUnnamedLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []layout.Layout{{}}); err == nil {
+		t.Fatal("unnamed layout accepted")
+	}
+}
+
+func TestUnitsScale(t *testing.T) {
+	// A library written with 1nm units must read back identically even if
+	// we re-parse the UNITS record (scale 1).
+	l, err := layout.Cell("BUF_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []layout.Layout{l}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Patterns[0] != l.Patterns[0] {
+		t.Fatalf("units scaling broke coordinates: %v != %v", got[0].Patterns[0], l.Patterns[0])
+	}
+}

@@ -1,0 +1,198 @@
+// Package geom provides the integer-nanometer planar geometry primitives used
+// throughout the LDMO framework: points, rectangles and polygons with the
+// distance and overlap predicates that layout decomposition and lithography
+// simulation rely on.
+//
+// All coordinates are integers in nanometers. Rectangles are half-open in
+// neither direction: a Rect covers [X0,X1] x [Y0,Y1] inclusive of its edges
+// for the purposes of distance computation, and rasterization decides pixel
+// ownership separately (see package grid).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the layout plane, in nanometers.
+type Point struct {
+	X, Y int
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q in nanometers.
+func (p Point) Dist(q Point) float64 {
+	dx := float64(p.X - q.X)
+	dy := float64(p.Y - q.Y)
+	return math.Hypot(dx, dy)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle with X0 <= X1 and Y0 <= Y1,
+// in nanometers. The zero Rect is a degenerate point at the origin.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// NewRect builds a normalized rectangle from two corner points in any order.
+func NewRect(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// RectWH builds a rectangle from its lower-left corner and a width/height.
+func RectWH(x, y, w, h int) Rect { return NewRect(x, y, x+w, y+h) }
+
+// W returns the width of r in nanometers.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the height of r in nanometers.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Area returns the area of r in square nanometers.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Center returns the center of r, rounded toward the lower-left on odd spans.
+func (r Rect) Center() Point { return Point{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{r.X0 + dx, r.Y0 + dy, r.X1 + dx, r.Y1 + dy}
+}
+
+// Inflate grows r by d on every side (shrinks for negative d). The result is
+// normalized, so over-shrinking collapses to a degenerate rectangle at the
+// center rather than producing an inverted one.
+func (r Rect) Inflate(d int) Rect {
+	return NewRect(r.X0-d, r.Y0-d, r.X1+d, r.Y1+d)
+}
+
+// Empty reports whether r has zero area.
+func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
+
+// Contains reports whether p lies inside r (edges inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// Overlaps reports whether r and s share interior or boundary points.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.X0 <= s.X1 && s.X0 <= r.X1 && r.Y0 <= s.Y1 && s.Y0 <= r.Y1
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		min(r.X0, s.X0), min(r.Y0, s.Y0),
+		max(r.X1, s.X1), max(r.Y1, s.Y1),
+	}
+}
+
+// Intersect returns the overlap of r and s and whether it is nonempty.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		max(r.X0, s.X0), max(r.Y0, s.Y0),
+		min(r.X1, s.X1), min(r.Y1, s.Y1),
+	}
+	if out.X0 > out.X1 || out.Y0 > out.Y1 {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Dist returns the minimum Euclidean edge-to-edge distance between r and s in
+// nanometers. Touching or overlapping rectangles have distance 0. This is the
+// spacing measure the paper's SP/VP/NP classification (Eq. 6) applies against
+// the nmin/nmax interaction bands.
+func (r Rect) Dist(s Rect) float64 {
+	dx := axisGap(r.X0, r.X1, s.X0, s.X1)
+	dy := axisGap(r.Y0, r.Y1, s.Y0, s.Y1)
+	switch {
+	case dx == 0:
+		return float64(dy)
+	case dy == 0:
+		return float64(dx)
+	default:
+		return math.Hypot(float64(dx), float64(dy))
+	}
+}
+
+// CenterDist returns the Euclidean distance between the centers of r and s.
+func (r Rect) CenterDist(s Rect) float64 { return r.Center().Dist(s.Center()) }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %d,%d]", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// axisGap returns the 1-D gap between intervals [a0,a1] and [b0,b1],
+// or 0 when they overlap or touch.
+func axisGap(a0, a1, b0, b1 int) int {
+	switch {
+	case b0 > a1:
+		return b0 - a1
+	case a0 > b1:
+		return a0 - b1
+	default:
+		return 0
+	}
+}
+
+// BoundingBox returns the union of all rects; ok is false for an empty input.
+func BoundingBox(rects []Rect) (bb Rect, ok bool) {
+	if len(rects) == 0 {
+		return Rect{}, false
+	}
+	bb = rects[0]
+	for _, r := range rects[1:] {
+		bb = bb.Union(r)
+	}
+	return bb, true
+}
+
+// Polygon is a closed rectilinear polygon given by its vertex loop. It is
+// used for printed-contour reporting; masks themselves stay rectangle lists.
+type Polygon struct {
+	Pts []Point
+}
+
+// BBox returns the bounding box of the polygon and whether it has vertices.
+func (pg Polygon) BBox() (Rect, bool) {
+	if len(pg.Pts) == 0 {
+		return Rect{}, false
+	}
+	bb := Rect{pg.Pts[0].X, pg.Pts[0].Y, pg.Pts[0].X, pg.Pts[0].Y}
+	for _, p := range pg.Pts[1:] {
+		bb.X0 = min(bb.X0, p.X)
+		bb.Y0 = min(bb.Y0, p.Y)
+		bb.X1 = max(bb.X1, p.X)
+		bb.Y1 = max(bb.Y1, p.Y)
+	}
+	return bb, true
+}
+
+// Area returns the unsigned area of the polygon via the shoelace formula.
+func (pg Polygon) Area() float64 {
+	n := len(pg.Pts)
+	if n < 3 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += pg.Pts[i].X*pg.Pts[j].Y - pg.Pts[j].X*pg.Pts[i].Y
+	}
+	return math.Abs(float64(sum)) / 2
+}

@@ -1,0 +1,208 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(10, 20, 3, 5)
+	if r.X0 != 3 || r.Y0 != 5 || r.X1 != 10 || r.Y1 != 20 {
+		t.Fatalf("NewRect did not normalize: %v", r)
+	}
+}
+
+func TestRectWH(t *testing.T) {
+	r := RectWH(5, 7, 30, 40)
+	if r.W() != 30 || r.H() != 40 {
+		t.Fatalf("got w=%d h=%d", r.W(), r.H())
+	}
+	if r.Area() != 1200 {
+		t.Fatalf("area = %d, want 1200", r.Area())
+	}
+}
+
+func TestCenter(t *testing.T) {
+	r := NewRect(0, 0, 10, 20)
+	if c := r.Center(); c != (Point{5, 10}) {
+		t.Fatalf("center = %v", c)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	r := NewRect(1, 2, 3, 4).Translate(10, 20)
+	if r != (Rect{11, 22, 13, 24}) {
+		t.Fatalf("translate = %v", r)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	r := NewRect(10, 10, 20, 20)
+	if g := r.Inflate(5); g != (Rect{5, 5, 25, 25}) {
+		t.Fatalf("inflate = %v", g)
+	}
+	// Over-shrink collapses but stays normalized.
+	s := r.Inflate(-8)
+	if s.X0 > s.X1 || s.Y0 > s.Y1 {
+		t.Fatalf("over-shrunk rect not normalized: %v", s)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // corner inclusive
+		{Point{10, 10}, true}, // corner inclusive
+		{Point{11, 5}, false},
+		{Point{-1, 5}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	if !a.Overlaps(NewRect(5, 5, 15, 15)) {
+		t.Error("expected overlap")
+	}
+	if !a.Overlaps(NewRect(10, 0, 20, 10)) {
+		t.Error("touching rects should overlap (edge-inclusive)")
+	}
+	if a.Overlaps(NewRect(11, 0, 20, 10)) {
+		t.Error("disjoint rects should not overlap")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	got, ok := a.Intersect(NewRect(5, 5, 15, 15))
+	if !ok || got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("intersect = %v ok=%v", got, ok)
+	}
+	if _, ok := a.Intersect(NewRect(20, 20, 30, 30)); ok {
+		t.Fatal("disjoint intersect should be empty")
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{NewRect(5, 5, 15, 15), 0},                        // overlap
+		{NewRect(10, 0, 20, 10), 0},                       // touch
+		{NewRect(15, 0, 25, 10), 5},                       // horizontal gap
+		{NewRect(0, 17, 10, 20), 7},                       // vertical gap
+		{NewRect(13, 14, 20, 20), 5},                      // diagonal 3-4-5
+		{NewRect(-20, -20, -10, -10), math.Hypot(10, 10)}, // diagonal corner
+	}
+	for _, c := range cases {
+		if got := a.Dist(c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v) = %g, want %g", c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := RectWH(int(ax0), int(ay0), int(aw%50)+1, int(ah%50)+1)
+		b := RectWH(int(bx0), int(by0), int(bw%50)+1, int(bh%50)+1)
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleLowerBound(t *testing.T) {
+	// Edge-to-edge distance is never larger than center distance.
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := RectWH(int(ax0), int(ay0), int(aw%50)+1, int(ah%50)+1)
+		b := RectWH(int(bx0), int(by0), int(bw%50)+1, int(bh%50)+1)
+		return a.Dist(b) <= a.CenterDist(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionContainsBoth(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := RectWH(int(ax0), int(ay0), int(aw)+1, int(ah)+1)
+		b := RectWH(int(bx0), int(by0), int(bw)+1, int(bh)+1)
+		u := a.Union(b)
+		return u.Overlaps(a) && u.Overlaps(b) &&
+			u.Contains(Point{a.X0, a.Y0}) && u.Contains(Point{a.X1, a.Y1}) &&
+			u.Contains(Point{b.X0, b.Y0}) && u.Contains(Point{b.X1, b.Y1})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if _, ok := BoundingBox(nil); ok {
+		t.Fatal("empty input must report !ok")
+	}
+	bb, ok := BoundingBox([]Rect{NewRect(0, 0, 5, 5), NewRect(10, -3, 12, 2)})
+	if !ok || bb != (Rect{0, -3, 12, 5}) {
+		t.Fatalf("bb = %v ok=%v", bb, ok)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}
+	if p.Add(Point{3, 4}) != (Point{4, 6}) {
+		t.Error("Add failed")
+	}
+	if p.Sub(Point{3, 4}) != (Point{-2, -2}) {
+		t.Error("Sub failed")
+	}
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Errorf("Dist = %g", d)
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := Polygon{Pts: []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}}
+	if a := sq.Area(); a != 100 {
+		t.Fatalf("square area = %g", a)
+	}
+	// L-shape: 10x10 square minus 5x5 notch = 75.
+	l := Polygon{Pts: []Point{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}}}
+	if a := l.Area(); a != 75 {
+		t.Fatalf("L area = %g", a)
+	}
+	if (Polygon{Pts: []Point{{0, 0}, {1, 1}}}).Area() != 0 {
+		t.Fatal("degenerate polygon area must be 0")
+	}
+}
+
+func TestPolygonBBox(t *testing.T) {
+	pg := Polygon{Pts: []Point{{2, 3}, {-1, 7}, {5, 0}}}
+	bb, ok := pg.BBox()
+	if !ok || bb != (Rect{-1, 0, 5, 7}) {
+		t.Fatalf("bbox = %v ok=%v", bb, ok)
+	}
+	if _, ok := (Polygon{}).BBox(); ok {
+		t.Fatal("empty polygon must report !ok")
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if s := NewRect(1, 2, 3, 4).String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	if s := (Point{1, 2}).String(); s != "(1,2)" {
+		t.Fatalf("point string = %q", s)
+	}
+}

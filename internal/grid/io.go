@@ -1,0 +1,103 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WritePGM writes g as a binary 8-bit PGM image to w, normalizing pixel
+// values from [lo, hi] to [0, 255]. PGM is used for the Fig. 7 printed-image
+// dumps so results can be inspected with any image viewer.
+func (g *Grid) WritePGM(w io.Writer, lo, hi float64) error {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	// PGM rows go top-down; our y axis goes bottom-up, so flip.
+	for y := g.H - 1; y >= 0; y-- {
+		for x := 0; x < g.W; x++ {
+			v := (g.Data[y*g.W+x] - lo) / (hi - lo)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			if err := bw.WriteByte(byte(v*255 + 0.5)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes g to the named file as a PGM image normalized over [lo, hi].
+func (g *Grid) SavePGM(path string, lo, hi float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WritePGM(f, lo, hi); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// WriteCSV writes g as comma-separated rows (bottom row last) for offline
+// plotting of aerial-image cross sections and convergence data.
+func (g *Grid) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			if x > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%g", g.Data[y*g.W+x]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ASCII renders g as a coarse character-art picture using the given ramp
+// (e.g. " .:#@"), useful for terminal-level inspection in examples.
+func (g *Grid) ASCII(ramp string, maxW int) string {
+	if ramp == "" {
+		ramp = " .:-=+*#%@"
+	}
+	gg := g
+	if g.W > maxW && maxW > 0 {
+		gg = g.Resample(maxW, g.H*maxW/g.W)
+	}
+	lo, hi := gg.MinMax()
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for y := gg.H - 1; y >= 0; y-- {
+		for x := 0; x < gg.W; x++ {
+			v := (gg.Data[y*gg.W+x] - lo) / (hi - lo)
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

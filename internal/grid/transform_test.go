@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldmo/internal/geom"
+)
+
+func randomGrid(rng *rand.Rand, w, h int) *Grid {
+	g := New(w, h, 4, geom.Point{})
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()
+	}
+	return g
+}
+
+func TestRot90KnownValues(t *testing.T) {
+	g := New(2, 1, 4, geom.Point{})
+	copy(g.Data, []float64{1, 2}) // row: [1 2]
+	r := g.Rot90()
+	if r.W != 1 || r.H != 2 {
+		t.Fatalf("rotated shape %dx%d", r.W, r.H)
+	}
+	// (x,y) -> (y, W-1-x): (0,0)->(0,1), (1,0)->(0,0).
+	if r.At(0, 0) != 2 || r.At(0, 1) != 1 {
+		t.Fatalf("rotated data %v", r.Data)
+	}
+}
+
+func TestRot90FourTimesIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng, 3+rng.Intn(8), 3+rng.Intn(8))
+		r := g.Rot90().Rot90().Rot90().Rot90()
+		return r.Equal(g, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipHTwiceIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng, 2+rng.Intn(9), 2+rng.Intn(9))
+		return g.FlipH().FlipH().Equal(g, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipHKnownValues(t *testing.T) {
+	g := New(3, 1, 4, geom.Point{})
+	copy(g.Data, []float64{1, 2, 3})
+	m := g.FlipH()
+	if m.Data[0] != 3 || m.Data[1] != 2 || m.Data[2] != 1 {
+		t.Fatalf("mirrored = %v", m.Data)
+	}
+}
+
+func TestTransformsPreserveMass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng, 2+rng.Intn(10), 2+rng.Intn(10))
+		const eps = 1e-9
+		return absDiff(g.Rot90().Sum(), g.Sum()) < eps &&
+			absDiff(g.FlipH().Sum(), g.Sum()) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestSampleNMCenterAndInterpolation(t *testing.T) {
+	g := New(2, 2, 10, geom.Point{})
+	copy(g.Data, []float64{0, 1, 2, 3})
+	// Pixel centers at (5,5), (15,5), (5,15), (15,15).
+	if v := g.SampleNM(5, 5); v != 0 {
+		t.Fatalf("center sample = %g", v)
+	}
+	if v := g.SampleNM(15, 15); v != 3 {
+		t.Fatalf("corner sample = %g", v)
+	}
+	// Midpoint between all four centers: mean of values.
+	if v := g.SampleNM(10, 10); v != 1.5 {
+		t.Fatalf("bilinear midpoint = %g", v)
+	}
+	// Beyond-the-border samples clamp.
+	if v := g.SampleNM(-100, -100); v != 0 {
+		t.Fatalf("clamped sample = %g", v)
+	}
+	if v := g.SampleNM(1000, 1000); v != 3 {
+		t.Fatalf("clamped sample = %g", v)
+	}
+}

@@ -1,0 +1,199 @@
+// Package ilt implements the paper's mask-optimization engine (§III-C):
+// gradient-descent inverse lithography over the two double-patterning masks,
+// with the sigmoid mask/resist relaxations of Eq. 1-3, per-iteration
+// printability traces, and the every-third-iteration print-violation check
+// that sends the flow back to decomposition selection.
+package ilt
+
+import (
+	"fmt"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/epe"
+	"ldmo/internal/grid"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+	"ldmo/internal/simclock"
+)
+
+// Config collects the optimizer settings. Zero values are replaced by the
+// paper's constants via Normalize.
+type Config struct {
+	// MaxIters is the gradient-descent iteration budget (paper: 29).
+	MaxIters int
+	// CheckEvery is the print-violation check period (paper: 3).
+	CheckEvery int
+	// StepSize is the gradient-descent step on the unbounded parameter P.
+	StepSize float64
+	// InitClip keeps the initial mask away from the sigmoid's saturated
+	// tails so gradients can move it; the rasterized binary decomposition
+	// is clamped into [InitClip, 1-InitClip] before inversion.
+	InitClip float64
+	// AbortOnViolation stops the run as soon as the periodic check finds a
+	// print violation (bridge / missing / spurious pattern). The flow then
+	// falls back to the next decomposition candidate. When false the run
+	// always uses the full budget — needed for forced best-effort runs.
+	AbortOnViolation bool
+	// CheckpointSpacing is the EPE checkpoint pitch in nm (paper-style 40).
+	CheckpointSpacing int
+	// Litho is the process model.
+	Litho litho.Params
+	// Meter measures EPE.
+	Meter epe.Meter
+}
+
+// DefaultConfig returns the paper's optimizer settings over the calibrated
+// default process.
+func DefaultConfig() Config {
+	return Config{
+		MaxIters:          29,
+		CheckEvery:        3,
+		StepSize:          2.0,
+		InitClip:          0.02,
+		AbortOnViolation:  true,
+		CheckpointSpacing: 40,
+		Litho:             litho.DefaultParams(),
+		Meter:             epe.NewMeter(),
+	}
+}
+
+// Normalize fills unset fields with the defaults.
+func (c Config) Normalize() Config {
+	d := DefaultConfig()
+	if c.MaxIters <= 0 {
+		c.MaxIters = d.MaxIters
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = d.CheckEvery
+	}
+	if c.StepSize <= 0 {
+		c.StepSize = d.StepSize
+	}
+	if c.InitClip <= 0 || c.InitClip >= 0.5 {
+		c.InitClip = d.InitClip
+	}
+	if c.CheckpointSpacing <= 0 {
+		c.CheckpointSpacing = d.CheckpointSpacing
+	}
+	if c.Litho.Resolution == 0 {
+		c.Litho = d.Litho
+	}
+	if c.Meter.SearchRange == 0 {
+		c.Meter = d.Meter
+	}
+	return c
+}
+
+// IterStat is one row of the convergence trace (the data behind Fig. 1(b)).
+type IterStat struct {
+	Iter          int
+	L2            float64
+	EPEViolations int
+}
+
+// Result is the outcome of one ILT run.
+type Result struct {
+	// M1, M2 are the final continuous masks; Printed is the composed
+	// double-patterning resist image.
+	M1, M2, Printed *grid.Grid
+	// L2 is the final squared image error against the target.
+	L2 float64
+	// EPE is the final edge-placement measurement.
+	EPE epe.Result
+	// Violations is the final print-violation summary.
+	Violations epe.Violations
+	// Aborted reports that the periodic check tripped; AbortIter is the
+	// iteration at which it did.
+	Aborted   bool
+	AbortIter int
+	// Iters is the number of gradient steps actually performed.
+	Iters int
+	// Trace records per-iteration statistics.
+	Trace []IterStat
+}
+
+// Score aggregates the result into the paper's Eq. 9 selection score with
+// the given weights (alpha*L2 + beta*EPE# + gamma*Violation#).
+func (r Result) Score(alpha, beta, gamma float64) float64 {
+	return alpha*r.L2 + beta*float64(r.EPE.Violations) + gamma*float64(r.Violations.Total())
+}
+
+// Optimizer runs ILT for decompositions of one fixed layout.
+type Optimizer struct {
+	cfg    Config
+	layout layout.Layout
+	sim    *litho.Simulator
+	target *grid.Grid
+	cps    []epe.Checkpoint
+	clock  *simclock.Clock
+}
+
+// NewOptimizer builds an optimizer for the layout under the given config.
+func NewOptimizer(l layout.Layout, cfg Config) (*Optimizer, error) {
+	cfg = cfg.Normalize()
+	if len(l.Patterns) == 0 {
+		return nil, fmt.Errorf("ilt: layout %q has no patterns", l.Name)
+	}
+	res := cfg.Litho.Resolution
+	w := l.Window.W() / res
+	h := l.Window.H() / res
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("ilt: window %v too small for resolution %d", l.Window, res)
+	}
+	sim, err := litho.NewSimulator(w, h, cfg.Litho)
+	if err != nil {
+		return nil, err
+	}
+	return &Optimizer{
+		cfg:    cfg,
+		layout: l,
+		sim:    sim,
+		target: l.Rasterize(res),
+		cps:    epe.GenerateCheckpoints(l.Patterns, cfg.CheckpointSpacing),
+	}, nil
+}
+
+// SetClock attaches deterministic cost accounting to the optimizer's
+// simulator.
+func (o *Optimizer) SetClock(c *simclock.Clock) {
+	o.clock = c
+	o.sim.SetClock(c)
+}
+
+// Config returns the normalized configuration in use.
+func (o *Optimizer) Config() Config { return o.cfg }
+
+// Target returns the rasterized target image (shared; do not mutate).
+func (o *Optimizer) Target() *grid.Grid { return o.target }
+
+// Run optimizes the masks of decomposition d: gradient steps in CheckEvery
+// chunks with a print-violation snapshot between chunks (the Fig. 2 feedback
+// check). See Result for outputs. Run is a thin driver over Session.
+func (o *Optimizer) Run(d decomp.Decomposition) Result {
+	s := o.NewSession(d)
+	for s.Remaining() > 0 {
+		n := o.cfg.CheckEvery
+		if r := s.Remaining(); n > r {
+			n = r
+		}
+		s.Step(n)
+		if o.cfg.AbortOnViolation && s.Remaining() > 0 {
+			snap := s.Snapshot()
+			if snap.Violations.Any() {
+				snap.Aborted = true
+				snap.AbortIter = s.Iter()
+				return snap
+			}
+		}
+	}
+	return s.Snapshot()
+}
+
+// finalize copies the working buffers into result grids.
+func (o *Optimizer) finalize(res *Result, m [2][]float64, composed *grid.Grid) {
+	res.M1 = grid.NewLike(o.target)
+	copy(res.M1.Data, m[0])
+	res.M2 = grid.NewLike(o.target)
+	copy(res.M2.Data, m[1])
+	res.Printed = composed.Clone()
+}

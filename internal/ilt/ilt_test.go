@@ -1,0 +1,276 @@
+package ilt
+
+import (
+	"math"
+	"testing"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/geom"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+	"ldmo/internal/simclock"
+)
+
+// fastConfig runs ILT on the coarse 8nm raster so tests stay quick.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Litho = litho.FastParams()
+	return cfg
+}
+
+// twoRowLayout builds the canonical 2x3 benchmark layout: two SP rows of
+// three contacts, 95nm apart vertically.
+func twoRowLayout() layout.Layout {
+	l := layout.Layout{Name: "tworow", Window: geom.RectWH(0, 0, layout.TileNM, layout.TileNM)}
+	for _, y := range []int{130, 290} {
+		for _, x := range []int{66, 196, 326} {
+			l.Patterns = append(l.Patterns, geom.RectWH(x, y, layout.ContactNM, layout.ContactNM))
+		}
+	}
+	return l
+}
+
+func TestConfigNormalize(t *testing.T) {
+	var c Config
+	n := c.Normalize()
+	d := DefaultConfig()
+	if n.MaxIters != d.MaxIters || n.CheckEvery != d.CheckEvery ||
+		n.StepSize != d.StepSize || n.InitClip != d.InitClip ||
+		n.CheckpointSpacing != d.CheckpointSpacing ||
+		n.Litho.Resolution != d.Litho.Resolution ||
+		n.Meter.SearchRange != d.Meter.SearchRange {
+		t.Fatalf("normalize = %+v", n)
+	}
+	// Existing values survive.
+	c.MaxIters = 5
+	if c.Normalize().MaxIters != 5 {
+		t.Fatal("normalize overwrote MaxIters")
+	}
+}
+
+func TestNewOptimizerErrors(t *testing.T) {
+	if _, err := NewOptimizer(layout.Layout{Name: "empty"}, DefaultConfig()); err == nil {
+		t.Fatal("empty layout must error")
+	}
+	l := twoRowLayout()
+	cfg := DefaultConfig()
+	cfg.Litho.Sigma = -1
+	if _, err := NewOptimizer(l, cfg); err == nil {
+		t.Fatal("bad litho params must error")
+	}
+}
+
+func TestILTReducesEPEAndL2(t *testing.T) {
+	l := twoRowLayout()
+	gen := decomp.NewGenerator()
+	cands, err := gen.Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.AbortOnViolation = false
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := false
+	for _, d := range cands {
+		r := opt.Run(d)
+		first := r.Trace[0]
+		if r.L2 >= first.L2 {
+			t.Errorf("cand %s: L2 did not improve (%g -> %g)", d.Key(), first.L2, r.L2)
+		}
+		if r.EPE.Violations < first.EPEViolations {
+			improved = true
+		}
+		if r.Iters != cfg.MaxIters {
+			t.Errorf("cand %s: ran %d iters, want %d", d.Key(), r.Iters, cfg.MaxIters)
+		}
+		if len(r.Trace) != cfg.MaxIters+1 {
+			t.Errorf("cand %s: trace length %d", d.Key(), len(r.Trace))
+		}
+	}
+	if !improved {
+		t.Fatal("no candidate improved its EPE count")
+	}
+}
+
+func TestILTDecompositionQualityDiffers(t *testing.T) {
+	// The paper's premise (Fig. 1b): different decompositions converge to
+	// different final printability.
+	l := twoRowLayout()
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("expected >= 2 candidates, got %d", len(cands))
+	}
+	cfg := fastConfig()
+	cfg.AbortOnViolation = false
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[float64]bool{}
+	for _, d := range cands {
+		r := opt.Run(d)
+		scores[r.Score(1, 3500, 8000)] = true
+	}
+	if len(scores) < 2 {
+		t.Fatal("all decompositions scored identically; no selection signal")
+	}
+}
+
+func TestILTAbortsOnSameMaskSPPair(t *testing.T) {
+	// Forcing an SP pair onto one mask must trip the periodic violation
+	// check (the printed contacts bridge).
+	l := layout.Layout{Name: "sp-pair", Window: geom.RectWH(0, 0, layout.TileNM, layout.TileNM)}
+	l.Patterns = []geom.Rect{
+		geom.RectWH(160, 240, 65, 65),
+		geom.RectWH(290, 240, 65, 65), // 65nm gap: SP
+	}
+	cfg := fastConfig()
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := decomp.New(l, []uint8{0, 0}) // same mask: illegal
+	r := opt.Run(bad)
+	if !r.Aborted {
+		t.Fatal("same-mask SP pair did not abort")
+	}
+	if r.AbortIter%cfg.CheckEvery != 0 {
+		t.Fatalf("abort at iter %d, not on a check boundary", r.AbortIter)
+	}
+	if !r.Violations.Any() {
+		t.Fatal("aborted without recorded violations")
+	}
+	if r.Printed == nil || r.M1 == nil || r.M2 == nil {
+		t.Fatal("aborted result missing images")
+	}
+
+	good := decomp.New(l, []uint8{0, 1})
+	if rg := opt.Run(good); rg.Aborted {
+		t.Fatal("legal decomposition aborted")
+	}
+}
+
+func TestILTNoAbortWhenDisabled(t *testing.T) {
+	l := layout.Layout{Name: "sp-pair", Window: geom.RectWH(0, 0, layout.TileNM, layout.TileNM)}
+	l.Patterns = []geom.Rect{
+		geom.RectWH(160, 240, 65, 65),
+		geom.RectWH(290, 240, 65, 65),
+	}
+	cfg := fastConfig()
+	cfg.AbortOnViolation = false
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := opt.Run(decomp.New(l, []uint8{0, 0}))
+	if r.Aborted {
+		t.Fatal("aborted despite AbortOnViolation=false")
+	}
+	if r.Iters != cfg.MaxIters {
+		t.Fatalf("ran %d iters", r.Iters)
+	}
+}
+
+func TestILTChargesClock(t *testing.T) {
+	l := twoRowLayout()
+	cfg := fastConfig()
+	cfg.MaxIters = 3
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.New(simclock.DefaultModel())
+	opt.SetClock(clk)
+	d := decomp.New(l, []uint8{0, 1, 0, 1, 0, 1})
+	opt.Run(d)
+	if clk.Count(simclock.CostConvolution) == 0 {
+		t.Fatal("no convolutions charged")
+	}
+}
+
+func TestScore(t *testing.T) {
+	r := Result{L2: 10}
+	r.EPE.Violations = 2
+	r.Violations.Bridges = 1
+	got := r.Score(1, 3500, 8000)
+	if got != 10+2*3500+8000 {
+		t.Fatalf("score = %g", got)
+	}
+}
+
+func TestILTGradientMatchesNumerical(t *testing.T) {
+	// Full-chain gradient check: compare the analytic dL/dP step against a
+	// numerical derivative of the composed loss on a tiny layout.
+	l := layout.Layout{Name: "tiny", Window: geom.RectWH(0, 0, 256, 256)}
+	l.Patterns = []geom.Rect{geom.RectWH(96, 96, 65, 65)}
+	p := litho.FastParams()
+	p.Sigma = 24
+	p.DefocusWeight = 0
+
+	res := p.Resolution
+	w := l.Window.W() / res
+	sim, err := litho.NewSimulator(w, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := l.Rasterize(res)
+	n := w * w
+
+	loss := func(pp []float64) float64 {
+		m := make([]float64, n)
+		litho.MaskSigmoid(p.ThetaM, pp, m)
+		aerial := make([]float64, n)
+		sim.Aerial(m, aerial, nil)
+		tt := make([]float64, n)
+		sim.Resist(aerial, tt)
+		s := 0.0
+		for i := range tt {
+			d := tt[i] - target.Data[i]
+			s += d * d
+		}
+		return s
+	}
+
+	pp := make([]float64, n)
+	for i := range pp {
+		pp[i] = 0.1 * math.Sin(float64(i))
+	}
+
+	// Analytic gradient via the simulator's backward passes.
+	m := make([]float64, n)
+	litho.MaskSigmoid(p.ThetaM, pp, m)
+	fields := sim.NewFields()
+	aerial := make([]float64, n)
+	sim.Aerial(m, aerial, fields)
+	tt := make([]float64, n)
+	sim.Resist(aerial, tt)
+	gradT := make([]float64, n)
+	for i := range gradT {
+		gradT[i] = 2 * (tt[i] - target.Data[i])
+	}
+	gradI := make([]float64, n)
+	sim.ResistBackward(gradT, tt, gradI)
+	gradM := make([]float64, n)
+	sim.AerialBackward(gradI, fields, gradM)
+
+	const eps = 1e-6
+	for _, idx := range []int{n / 2, n/2 + 7, 3} {
+		analytic := gradM[idx] * p.ThetaM * m[idx] * (1 - m[idx])
+		save := pp[idx]
+		pp[idx] = save + eps
+		up := loss(pp)
+		pp[idx] = save - eps
+		down := loss(pp)
+		pp[idx] = save
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-analytic) > 1e-4*(math.Abs(numeric)+1e-3) {
+			t.Fatalf("dL/dP[%d]: analytic %g, numeric %g", idx, analytic, numeric)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package ilt
+
+import (
+	"math"
+
+	"ldmo/internal/epe"
+	"ldmo/internal/grid"
+	"ldmo/internal/litho"
+)
+
+// Session is an incremental ILT run: the optimizer state of one
+// decomposition that can be stepped a few iterations at a time and evaluated
+// between steps. The greedy-pruning baseline uses sessions to prune
+// candidates on warm intermediate states exactly as the ICCAD'17 flow does;
+// Optimizer.Run is itself implemented on top of a session.
+//
+// Sessions of the same Optimizer share its simulator scratch buffers, so
+// only one session may be stepped at a time (interleaving Step calls across
+// sessions is fine; calling Step concurrently is not).
+type Session struct {
+	o    *Optimizer
+	p    [2][]float64
+	m    [2][]float64
+	iter int
+
+	aerial   [2][]float64
+	resist   [2][]float64
+	fields   [2]*litho.Fields
+	composed *grid.Grid
+	sat      []bool
+	gradT    []float64
+	gradI    []float64
+	gradM    []float64
+
+	trace []IterStat
+}
+
+// NewSession initializes optimizer state for decomposition d.
+func (o *Optimizer) NewSession(d interface {
+	Masks(res int) (*grid.Grid, *grid.Grid)
+}) *Session {
+	n := o.sim.W * o.sim.H
+	m1g, m2g := d.Masks(o.cfg.Litho.Resolution)
+	s := &Session{
+		o:        o,
+		composed: grid.NewLike(o.target),
+		sat:      make([]bool, n),
+		gradT:    make([]float64, n),
+		gradI:    make([]float64, n),
+		gradM:    make([]float64, n),
+	}
+	masks := [2][]float64{m1g.Data, m2g.Data}
+	for i := 0; i < 2; i++ {
+		s.p[i] = make([]float64, n)
+		s.m[i] = make([]float64, n)
+		s.aerial[i] = make([]float64, n)
+		s.resist[i] = make([]float64, n)
+		s.fields[i] = o.sim.NewFields()
+		clamped := make([]float64, n)
+		for j, v := range masks[i] {
+			clamped[j] = math.Min(math.Max(v, o.cfg.InitClip), 1-o.cfg.InitClip)
+		}
+		litho.MaskSigmoidInverse(o.cfg.Litho.ThetaM, clamped, s.p[i])
+	}
+	return s
+}
+
+// Iter returns the number of gradient iterations performed so far.
+func (s *Session) Iter() int { return s.iter }
+
+// forward evaluates the current masks into the session's image buffers.
+func (s *Session) forward(withFields bool) {
+	for i := 0; i < 2; i++ {
+		litho.MaskSigmoid(s.o.cfg.Litho.ThetaM, s.p[i], s.m[i])
+		f := s.fields[i]
+		if !withFields {
+			f = nil
+		}
+		s.o.sim.Aerial(s.m[i], s.aerial[i], f)
+		s.o.sim.Resist(s.aerial[i], s.resist[i])
+	}
+	litho.ComposeDouble(s.resist[0], s.resist[1], s.composed.Data, s.sat)
+}
+
+// Step performs n gradient iterations (not exceeding the configured budget)
+// and appends to the trace. It returns the iterations actually performed.
+func (s *Session) Step(n int) int {
+	done := 0
+	for ; done < n && s.iter < s.o.cfg.MaxIters; done++ {
+		s.forward(true)
+		s.iter++
+		l2 := s.composed.L2Diff(s.o.target)
+		em := s.o.cfg.Meter.Measure(s.composed, s.o.cps)
+		s.trace = append(s.trace, IterStat{Iter: s.iter, L2: l2, EPEViolations: em.Violations})
+
+		for j := range s.gradT {
+			if s.sat[j] {
+				s.gradT[j] = 0
+			} else {
+				s.gradT[j] = 2 * (s.composed.Data[j] - s.o.target.Data[j])
+			}
+		}
+		for i := 0; i < 2; i++ {
+			s.o.sim.ResistBackward(s.gradT, s.resist[i], s.gradI)
+			s.o.sim.AerialBackward(s.gradI, s.fields[i], s.gradM)
+			tm := s.o.cfg.Litho.ThetaM
+			pi := s.p[i]
+			mi := s.m[i]
+			for j := range pi {
+				pi[j] -= s.o.cfg.StepSize * s.gradM[j] * tm * mi[j] * (1 - mi[j])
+			}
+		}
+	}
+	return done
+}
+
+// Remaining returns the unused iteration budget.
+func (s *Session) Remaining() int { return s.o.cfg.MaxIters - s.iter }
+
+// Snapshot evaluates the current masks (one forward pass) and returns the
+// full printability measurement without advancing the iteration counter.
+func (s *Session) Snapshot() Result {
+	s.forward(false)
+	res := Result{Iters: s.iter, Trace: append([]IterStat(nil), s.trace...)}
+	res.L2 = s.composed.L2Diff(s.o.target)
+	res.EPE = s.o.cfg.Meter.Measure(s.composed, s.o.cps)
+	res.Violations = epe.CheckPrintViolations(s.composed, s.o.layout.Patterns, s.o.cfg.Litho.PrintThreshold)
+	res.Trace = append(res.Trace, IterStat{Iter: s.iter + 1, L2: res.L2, EPEViolations: res.EPE.Violations})
+	s.o.finalize(&res, s.m, s.composed)
+	return res
+}

@@ -1,0 +1,114 @@
+package ilt
+
+import (
+	"testing"
+
+	"ldmo/internal/decomp"
+)
+
+func TestSessionStepMatchesRun(t *testing.T) {
+	// A session stepped in chunks must reach exactly the same state as
+	// Optimizer.Run (same deterministic arithmetic).
+	l := twoRowLayout()
+	cfg := fastConfig()
+	cfg.AbortOnViolation = false
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decomp.New(l, []uint8{0, 1, 0, 1, 0, 1})
+	want := opt.Run(d)
+
+	s := opt.NewSession(d)
+	for s.Remaining() > 0 {
+		s.Step(5)
+	}
+	got := s.Snapshot()
+	if got.L2 != want.L2 {
+		t.Fatalf("session L2 %g != run L2 %g", got.L2, want.L2)
+	}
+	if got.EPE.Violations != want.EPE.Violations {
+		t.Fatalf("session EPE %d != run EPE %d", got.EPE.Violations, want.EPE.Violations)
+	}
+	if !got.Printed.Equal(want.Printed, 0) {
+		t.Fatal("printed images differ")
+	}
+}
+
+func TestSessionBudget(t *testing.T) {
+	l := twoRowLayout()
+	cfg := fastConfig()
+	cfg.MaxIters = 7
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opt.NewSession(decomp.New(l, []uint8{0, 1, 0, 1, 0, 1}))
+	if got := s.Step(3); got != 3 {
+		t.Fatalf("stepped %d", got)
+	}
+	if s.Iter() != 3 || s.Remaining() != 4 {
+		t.Fatalf("iter=%d remaining=%d", s.Iter(), s.Remaining())
+	}
+	if got := s.Step(10); got != 4 {
+		t.Fatalf("budget-capped step did %d", got)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("remaining = %d", s.Remaining())
+	}
+	if got := s.Step(1); got != 0 {
+		t.Fatal("stepping an exhausted session must do nothing")
+	}
+}
+
+func TestSessionSnapshotDoesNotAdvance(t *testing.T) {
+	l := twoRowLayout()
+	opt, err := NewOptimizer(l, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opt.NewSession(decomp.New(l, []uint8{0, 1, 0, 1, 0, 1}))
+	s.Step(4)
+	a := s.Snapshot()
+	b := s.Snapshot()
+	if s.Iter() != 4 {
+		t.Fatalf("snapshot advanced iter to %d", s.Iter())
+	}
+	if a.L2 != b.L2 || a.EPE.Violations != b.EPE.Violations {
+		t.Fatal("repeated snapshots differ")
+	}
+	if len(a.Trace) != 5 { // 4 step entries + snapshot entry
+		t.Fatalf("trace length %d", len(a.Trace))
+	}
+}
+
+func TestInterleavedSessionsIndependent(t *testing.T) {
+	// Stepping two sessions alternately must give the same results as
+	// running them serially (shared scratch buffers must not leak state).
+	l := twoRowLayout()
+	cfg := fastConfig()
+	cfg.MaxIters = 6
+	cfg.AbortOnViolation = false
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := decomp.New(l, []uint8{0, 1, 0, 1, 0, 1})
+	d2 := decomp.New(l, []uint8{0, 1, 0, 0, 1, 0})
+
+	want1 := opt.Run(d1)
+	want2 := opt.Run(d2)
+
+	s1 := opt.NewSession(d1)
+	s2 := opt.NewSession(d2)
+	for s1.Remaining() > 0 || s2.Remaining() > 0 {
+		s1.Step(2)
+		s2.Step(2)
+	}
+	got1 := s1.Snapshot()
+	got2 := s2.Snapshot()
+	if got1.L2 != want1.L2 || got2.L2 != want2.L2 {
+		t.Fatalf("interleaved L2 (%g, %g) != serial (%g, %g)",
+			got1.L2, got2.L2, want1.L2, want2.L2)
+	}
+}

@@ -1,0 +1,109 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldmo/internal/geom"
+)
+
+// GenParams controls the random contact-layout generator that stands in for
+// the paper's 8000-design dataset.
+type GenParams struct {
+	MinContacts int // smallest pattern count (inclusive)
+	MaxContacts int // largest pattern count (inclusive)
+	Jitter      int // per-slot placement jitter, nm
+	// AlignProb is the probability that a layout is emitted grid-aligned
+	// (zero jitter), like the standard-cell library the dataset resembles.
+	AlignProb   float64
+	NudgeProb   float64
+	Classify    ClassifyParams
+	DRC         DRCParams
+	MaxAttempts int // rejection-sampling budget per layout
+}
+
+// DefaultGenParams matches the cell-library geometry: 3-9 contacts on the
+// 3x3 slot grid with mild jitter, rejecting layouts that violate DRC or are
+// not two-mask decomposable.
+func DefaultGenParams() GenParams {
+	return GenParams{
+		MinContacts: 3,
+		MaxContacts: 9,
+		Jitter:      8,
+		AlignProb:   0.5,
+		NudgeProb:   0.25,
+		Classify:    DefaultClassifyParams(),
+		DRC:         DefaultDRCParams(),
+		MaxAttempts: 200,
+	}
+}
+
+// Generate produces one random layout via rejection sampling: slot subsets
+// with jitter and occasional outward corner nudges, retried until the result
+// passes DRC and its SP conflict graph is bipartite (so a legal double-
+// patterning decomposition exists). It is deterministic in rng.
+func Generate(rng *rand.Rand, p GenParams) (Layout, error) {
+	if p.MinContacts < 1 || p.MaxContacts > 9 || p.MinContacts > p.MaxContacts {
+		return Layout{}, fmt.Errorf("layout: contact count range [%d,%d] outside [1,9]",
+			p.MinContacts, p.MaxContacts)
+	}
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		n := p.MinContacts + rng.Intn(p.MaxContacts-p.MinContacts+1)
+		jitter := p.Jitter
+		if rng.Float64() < p.AlignProb {
+			jitter = 0
+		}
+		perm := rng.Perm(9)[:n]
+		l := Layout{
+			Name:   fmt.Sprintf("gen-%d", rng.Int63()),
+			Window: geom.RectWH(0, 0, TileNM, TileNM),
+		}
+		for _, si := range perm {
+			s := slot{c: si % 3, r: si / 3}
+			if jitter > 0 {
+				s.dx = rng.Intn(2*jitter+1) - jitter
+				s.dy = rng.Intn(2*jitter+1) - jitter
+			}
+			// Outward nudges on border slots open VP-band spacings
+			// without shrinking any gap below the DRC floor.
+			if rng.Float64() < p.NudgeProb {
+				if s.c == 2 {
+					s.dx += 10 + rng.Intn(11)
+				}
+				if s.r == 2 {
+					s.dy += 10 + rng.Intn(11)
+				}
+			}
+			l.Patterns = append(l.Patterns, slotRect(s))
+		}
+		if len(l.CheckDRC(p.DRC)) > 0 {
+			continue
+		}
+		if ok, _ := IsBipartite(ConflictGraph(l.Patterns, p.Classify.NMin)); !ok {
+			continue
+		}
+		return l, nil
+	}
+	return Layout{}, fmt.Errorf("layout: no valid layout in %d attempts", p.MaxAttempts)
+}
+
+// GenerateSet produces count layouts deterministically from seed. Contact
+// counts are balanced across [MinContacts, MaxContacts] by cycling, so large
+// (hard) layouts are as frequent as small ones — plain rejection sampling
+// would skew toward small layouts, which are accepted more often.
+func GenerateSet(seed int64, count int, p GenParams) ([]Layout, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Layout, 0, count)
+	for i := 0; i < count; i++ {
+		q := p
+		q.MinContacts = p.MinContacts + i%(p.MaxContacts-p.MinContacts+1)
+		q.MaxContacts = q.MinContacts
+		l, err := Generate(rng, q)
+		if err != nil {
+			return nil, fmt.Errorf("layout %d: %w", i, err)
+		}
+		l.Name = fmt.Sprintf("gen-%04d", i)
+		out = append(out, l)
+	}
+	return out, nil
+}

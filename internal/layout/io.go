@@ -1,0 +1,87 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ldmo/internal/geom"
+)
+
+// WriteCSV writes one layout in the dataset CSV form: a `# window` header
+// line followed by one `x0,y0,x1,y1` line per pattern (nanometers).
+func (l Layout) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# window %d %d %d %d\n",
+		l.Window.X0, l.Window.Y0, l.Window.X1, l.Window.Y1); err != nil {
+		return err
+	}
+	for _, r := range l.Patterns {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d\n", r.X0, r.Y0, r.X1, r.Y1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a layout written by WriteCSV. The name is supplied by the
+// caller (usually the file name).
+func ReadCSV(r io.Reader, name string) (Layout, error) {
+	l := Layout{Name: name}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) == 5 && fields[0] == "window" {
+				vals, err := parseInts(fields[1:])
+				if err != nil {
+					return Layout{}, fmt.Errorf("layout: line %d: %w", lineNo, err)
+				}
+				l.Window = geom.NewRect(vals[0], vals[1], vals[2], vals[3])
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return Layout{}, fmt.Errorf("layout: line %d: want 4 comma-separated values, got %q", lineNo, line)
+		}
+		vals, err := parseInts(parts)
+		if err != nil {
+			return Layout{}, fmt.Errorf("layout: line %d: %w", lineNo, err)
+		}
+		l.Patterns = append(l.Patterns, geom.NewRect(vals[0], vals[1], vals[2], vals[3]))
+	}
+	if err := sc.Err(); err != nil {
+		return Layout{}, err
+	}
+	if len(l.Patterns) == 0 {
+		return Layout{}, fmt.Errorf("layout: %s has no patterns", name)
+	}
+	if l.Window.Empty() {
+		// Derive a window with the standard optical margin when the
+		// header is absent.
+		bb, _ := geom.BoundingBox(l.Patterns)
+		l.Window = bb.Inflate(DefaultDRCParams().Margin)
+	}
+	return l, nil
+}
+
+func parseInts(fields []string) ([]int, error) {
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	for _, cell := range Cells() {
+		var buf bytes.Buffer
+		if err := cell.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCSV(&buf, cell.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Name, err)
+		}
+		if got.Window != cell.Window {
+			t.Fatalf("%s: window %v != %v", cell.Name, got.Window, cell.Window)
+		}
+		if len(got.Patterns) != len(cell.Patterns) {
+			t.Fatalf("%s: %d patterns != %d", cell.Name, len(got.Patterns), len(cell.Patterns))
+		}
+		for i := range cell.Patterns {
+			if got.Patterns[i] != cell.Patterns[i] {
+				t.Fatalf("%s: pattern %d differs", cell.Name, i)
+			}
+		}
+	}
+}
+
+func TestReadCSVWithoutWindowDerivesMargin(t *testing.T) {
+	in := "100,100,165,165\n300,100,365,165\n"
+	l, err := ReadCSV(strings.NewReader(in), "bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Window.Empty() {
+		t.Fatal("no window derived")
+	}
+	margin := DefaultDRCParams().Margin
+	if l.Window.X0 != 100-margin || l.Window.X1 != 365+margin {
+		t.Fatalf("derived window %v", l.Window)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"1,2,3\n",            // wrong arity
+		"a,b,c,d\n",          // non-integer
+		"# window 1 2 3 x\n", // bad header then no patterns
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "bad"); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlanksAndComments(t *testing.T) {
+	in := "# comment\n\n# window 0 0 544 544\n66,66,131,131\n\n"
+	l, err := ReadCSV(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Patterns) != 1 || l.Window.W() != 544 {
+		t.Fatalf("parsed %+v", l)
+	}
+}

@@ -1,0 +1,354 @@
+package litho
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldmo/internal/geom"
+	"ldmo/internal/grid"
+	"ldmo/internal/simclock"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if err := PaperParams().Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.ThetaM = 0 },
+		func(p *Params) { p.ThetaZ = -1 },
+		func(p *Params) { p.Ith = 0 },
+		func(p *Params) { p.Resolution = 0 },
+		func(p *Params) { p.Sigma = 0 },
+		func(p *Params) { p.DefocusWeight = 1 },
+		func(p *Params) { p.DefocusWeight = 0.1; p.DefocusSigma = 0 },
+		func(p *Params) { p.Gain = 0 },
+		func(p *Params) { p.KernelSupport = 0 },
+		func(p *Params) { p.PrintThreshold = 1 },
+	}
+	for i, mut := range bad {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMaskSigmoidRange(t *testing.T) {
+	p := []float64{-100, -1, 0, 1, 100}
+	m := make([]float64, len(p))
+	MaskSigmoid(8, p, m)
+	if m[2] != 0.5 {
+		t.Fatalf("sigmoid(0) = %g", m[2])
+	}
+	for i, v := range m {
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid out of range at %d: %g", i, v)
+		}
+	}
+	if m[0] > 1e-6 || m[4] < 1-1e-6 {
+		t.Fatal("sigmoid does not saturate")
+	}
+}
+
+func TestMaskSigmoidInverseRoundTrip(t *testing.T) {
+	m := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	p := make([]float64, len(m))
+	back := make([]float64, len(m))
+	MaskSigmoidInverse(8, m, p)
+	MaskSigmoid(8, p, back)
+	for i := range m {
+		if math.Abs(back[i]-m[i]) > 1e-9 {
+			t.Fatalf("roundtrip[%d] = %g want %g", i, back[i], m[i])
+		}
+	}
+	// Binary values survive via clipping without infinities.
+	MaskSigmoidInverse(8, []float64{0, 1}, p[:2])
+	if math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+		t.Fatal("inverse produced infinities")
+	}
+}
+
+func TestResistSigmoidThreshold(t *testing.T) {
+	aerial := []float64{0.039}
+	out := make([]float64, 1)
+	ResistSigmoid(120, 0.039, aerial, out)
+	if out[0] != 0.5 {
+		t.Fatalf("resist at threshold = %g, want 0.5", out[0])
+	}
+}
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	k := NewGaussianKernel(3, 3, 0.7)
+	if k.Size%2 != 1 {
+		t.Fatalf("even kernel size %d", k.Size)
+	}
+	sum := 0.0
+	for _, v := range k.Data {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("kernel sum = %g", sum)
+	}
+	if k.Weight != 0.7 {
+		t.Fatalf("weight = %g", k.Weight)
+	}
+	// Peak at the center.
+	c := (k.Size / 2) * k.Size // center row start
+	peak := k.Data[c+k.Size/2]
+	for _, v := range k.Data {
+		if v > peak {
+			t.Fatal("kernel peak not at center")
+		}
+	}
+}
+
+func TestBuildKernelBankWeights(t *testing.T) {
+	p := DefaultParams()
+	bank := BuildKernelBank(p)
+	if len(bank) != 2 {
+		t.Fatalf("bank size = %d", len(bank))
+	}
+	wsum := bank[0].Weight + bank[1].Weight
+	if math.Abs(wsum-p.Gain) > 1e-12 {
+		t.Fatalf("weights sum to %g, want gain %g", wsum, p.Gain)
+	}
+	p.DefocusWeight = 0
+	if got := len(BuildKernelBank(p)); got != 1 {
+		t.Fatalf("focused-only bank size = %d", got)
+	}
+}
+
+func newSim(t *testing.T, w, h int) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(w, h, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenFieldIntensityEqualsGain(t *testing.T) {
+	// The raster must be wide enough that the center pixel sees the full
+	// kernel support of the widest (defocus) kernel.
+	s := newSim(t, 128, 128)
+	mask := make([]float64, 128*128)
+	for i := range mask {
+		mask[i] = 1
+	}
+	aerial := make([]float64, len(mask))
+	s.Aerial(mask, aerial, nil)
+	center := aerial[64*128+64]
+	if math.Abs(center-s.P.Gain) > 1e-6 {
+		t.Fatalf("open-field intensity = %g, want %g", center, s.P.Gain)
+	}
+}
+
+func TestPaperParamsContourMatchesDefault(t *testing.T) {
+	// PaperParams rescales gain and threshold together, so the printed
+	// contour must be identical to DefaultParams'.
+	mk := func(p Params) *grid.Grid {
+		s, err := NewSimulator(128, 128, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask := grid.New(128, 128, p.Resolution, geom.Point{})
+		mask.FillRect(geom.RectWH(223, 223, 65, 65), 1)
+		return s.PrintedImage(mask).Threshold(p.PrintThreshold)
+	}
+	if !mk(DefaultParams()).Equal(mk(PaperParams()), 0) {
+		t.Fatal("paper-params contour differs from default-params contour")
+	}
+}
+
+func TestDarkFieldIntensityZero(t *testing.T) {
+	s := newSim(t, 64, 64)
+	aerial := make([]float64, 64*64)
+	s.Aerial(make([]float64, 64*64), aerial, nil)
+	for i, v := range aerial {
+		if v != 0 {
+			t.Fatalf("dark field nonzero at %d: %g", i, v)
+		}
+	}
+}
+
+func TestContactPrintsRoundAndCentered(t *testing.T) {
+	// A 70nm contact at the window center must print as a single blob whose
+	// peak is at the contact center.
+	p := DefaultParams()
+	s, err := NewSimulator(128, 128, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := grid.New(128, 128, p.Resolution, geom.Point{})
+	mask.FillRect(geom.RectWH(223, 223, 65, 65), 1) // centered at ~256nm = px 64
+	printed := s.PrintedImage(mask)
+	bin := printed.Threshold(p.PrintThreshold)
+	_, n := bin.Components()
+	if n != 1 {
+		t.Fatalf("printed components = %d, want 1", n)
+	}
+	// Peak location.
+	best, bi := -1.0, 0
+	for i, v := range printed.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	px, py := bi%128, bi/128
+	if px < 60 || px > 68 || py < 60 || py > 68 {
+		t.Fatalf("printed peak at (%d,%d), want near (64,64)", px, py)
+	}
+	// Printed width along the center row must be close to drawn (70nm).
+	x0, x1 := -1, -1
+	for x := 0; x < 128; x++ {
+		if bin.At(x, 64) > 0 {
+			if x0 < 0 {
+				x0 = x
+			}
+			x1 = x
+		}
+	}
+	if wnm := (x1 - x0 + 1) * p.Resolution; wnm < 50 || wnm > 80 {
+		t.Fatalf("printed width = %dnm, want ~65nm", wnm)
+	}
+}
+
+func TestCloseContactsBridgeOnOneMask(t *testing.T) {
+	// Two contacts below nmin on the same mask must merge into one printed
+	// component; the same pair on separate masks must not.
+	p := DefaultParams()
+	s, err := NewSimulator(128, 128, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const side = 65
+	// Gap of 65nm (an SP pair at library pitch), centered in the window.
+	a := geom.RectWH(158, 223, side, side)
+	b := geom.RectWH(158+side+65, 223, side, side)
+
+	same := grid.New(128, 128, p.Resolution, geom.Point{})
+	same.FillRect(a, 1)
+	same.FillRect(b, 1)
+	bin := s.PrintedImage(same).Threshold(p.PrintThreshold)
+	if _, n := bin.Components(); n != 1 {
+		t.Fatalf("same-mask close contacts printed %d components, want 1 (bridge)", n)
+	}
+
+	m1 := grid.New(128, 128, p.Resolution, geom.Point{})
+	m1.FillRect(a, 1)
+	m2 := grid.New(128, 128, p.Resolution, geom.Point{})
+	m2.FillRect(b, 1)
+	t1 := s.PrintedImage(m1)
+	t2 := s.PrintedImage(m2)
+	comp := grid.NewLike(t1)
+	ComposeDouble(t1.Data, t2.Data, comp.Data, nil)
+	if _, n := comp.Threshold(p.PrintThreshold).Components(); n != 2 {
+		t.Fatalf("split-mask close contacts printed %d components, want 2", n)
+	}
+}
+
+func TestComposeDoubleClamp(t *testing.T) {
+	t1 := []float64{0.3, 0.8, 0}
+	t2 := []float64{0.3, 0.8, 0}
+	out := make([]float64, 3)
+	sat := make([]bool, 3)
+	ComposeDouble(t1, t2, out, sat)
+	if out[0] != 0.6 || out[1] != 1 || out[2] != 0 {
+		t.Fatalf("compose = %v", out)
+	}
+	if sat[0] || !sat[1] || sat[2] {
+		t.Fatalf("sat = %v", sat)
+	}
+}
+
+func TestAerialBackwardMatchesNumericalGradient(t *testing.T) {
+	// Verify d/dM of sum(gradI * I(M)) against central differences.
+	p := DefaultParams()
+	p.Sigma = 6
+	p.DefocusSigma = 12
+	s, err := NewSimulator(24, 24, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 24 * 24
+	rng := rand.New(rand.NewSource(1))
+	mask := make([]float64, n)
+	gradI := make([]float64, n)
+	for i := range mask {
+		mask[i] = rng.Float64()
+		gradI[i] = rng.NormFloat64()
+	}
+	fields := s.NewFields()
+	aerial := make([]float64, n)
+	s.Aerial(mask, aerial, fields)
+	gradM := make([]float64, n)
+	s.AerialBackward(gradI, fields, gradM)
+
+	loss := func(m []float64) float64 {
+		a := make([]float64, n)
+		s.Aerial(m, a, nil)
+		sum := 0.0
+		for i := range a {
+			sum += gradI[i] * a[i]
+		}
+		return sum
+	}
+	const eps = 1e-5
+	for _, idx := range []int{0, 13, 24*12 + 12, n - 1} {
+		m2 := append([]float64(nil), mask...)
+		m2[idx] += eps
+		up := loss(m2)
+		m2[idx] -= 2 * eps
+		down := loss(m2)
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-gradM[idx]) > 1e-5*(math.Abs(num)+1) {
+			t.Fatalf("gradient mismatch at %d: analytic %g numeric %g", idx, gradM[idx], num)
+		}
+	}
+}
+
+func TestSimulatorClockCharges(t *testing.T) {
+	s := newSim(t, 32, 32)
+	clk := simclock.New(simclock.DefaultModel())
+	s.SetClock(clk)
+	mask := make([]float64, 32*32)
+	out := make([]float64, 32*32)
+	s.Aerial(mask, out, nil)
+	if got := clk.Count(simclock.CostConvolution); got != int64(s.KernelCount()) {
+		t.Fatalf("convolutions charged = %d, want %d", got, s.KernelCount())
+	}
+}
+
+func TestNewSimulatorErrors(t *testing.T) {
+	if _, err := NewSimulator(0, 10, DefaultParams()); err == nil {
+		t.Fatal("expected raster error")
+	}
+	p := DefaultParams()
+	p.Sigma = -1
+	if _, err := NewSimulator(10, 10, p); err == nil {
+		t.Fatal("expected params error")
+	}
+}
+
+func BenchmarkAerial112(b *testing.B) {
+	s, err := NewSimulator(112, 112, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask := make([]float64, 112*112)
+	for i := range mask {
+		mask[i] = float64(i%7) / 7
+	}
+	out := make([]float64, len(mask))
+	fields := s.NewFields()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Aerial(mask, out, fields)
+	}
+}

@@ -1,0 +1,168 @@
+package litho
+
+import (
+	"fmt"
+
+	"ldmo/internal/fft"
+	"ldmo/internal/grid"
+	"ldmo/internal/simclock"
+)
+
+// Simulator evaluates the forward optical model on a fixed w x h raster and
+// exposes the adjoint (backward) pass the ILT engine differentiates through.
+// A Simulator is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	P     Params
+	W, H  int
+	bank  []Kernel
+	plan  *fft.Plan
+	kffts [][]complex128
+	field []float64 // scratch: amplitude field of the current kernel
+	acc   []float64 // scratch: gradient accumulation
+	clock *simclock.Clock
+}
+
+// NewSimulator builds a simulator for a w x h raster under params p.
+func NewSimulator(w, h int, p Params) (*Simulator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("litho: invalid raster %dx%d", w, h)
+	}
+	bank := BuildKernelBank(p)
+	ks := MaxKernelSize(bank)
+	plan := fft.NewPlan(w, h, ks, ks)
+	kffts := make([][]complex128, len(bank))
+	for i, k := range bank {
+		kffts[i] = plan.TransformKernel(padKernel(k, ks))
+	}
+	return &Simulator{
+		P: p, W: w, H: h, bank: bank, plan: plan, kffts: kffts,
+		field: make([]float64, w*h), acc: make([]float64, w*h),
+	}, nil
+}
+
+// SetClock attaches a deterministic cost clock; every kernel convolution is
+// charged to it. A nil clock disables accounting.
+func (s *Simulator) SetClock(c *simclock.Clock) { s.clock = c }
+
+// KernelCount returns the number of SOCS kernels in the bank.
+func (s *Simulator) KernelCount() int { return len(s.bank) }
+
+// Fields holds the per-kernel amplitude fields (M (x) h_k) of one forward
+// evaluation; the adjoint pass needs them, so Aerial hands them back.
+type Fields struct {
+	Amp [][]float64 // one w*h field per kernel
+}
+
+// NewFields allocates a Fields workspace matching s.
+func (s *Simulator) NewFields() *Fields {
+	f := &Fields{Amp: make([][]float64, len(s.bank))}
+	for i := range f.Amp {
+		f.Amp[i] = make([]float64, s.W*s.H)
+	}
+	return f
+}
+
+// Aerial computes the SOCS aerial image I = sum_k w_k (mask (x) h_k)^2 into
+// out and stores the per-kernel amplitude fields into fields (which may be
+// nil when no backward pass will follow).
+func (s *Simulator) Aerial(mask []float64, out []float64, fields *Fields) {
+	if len(mask) != s.W*s.H || len(out) != s.W*s.H {
+		panic(fmt.Sprintf("litho: mask/out length %d/%d != %dx%d", len(mask), len(out), s.W, s.H))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	spec := s.plan.Forward(mask)
+	for k := range s.bank {
+		dst := s.field
+		if fields != nil {
+			dst = fields.Amp[k]
+		}
+		s.plan.ApplySpec(spec, s.kffts[k], dst, false)
+		if s.clock != nil {
+			s.clock.Charge(simclock.CostConvolution, 1)
+		}
+		w := s.bank[k].Weight
+		for i, a := range dst {
+			out[i] += w * a * a
+		}
+	}
+}
+
+// AerialBackward accumulates into gradMask the adjoint of Aerial: given
+// gradI = dL/dI it adds dL/dMask = sum_k w_k * 2 * corr(h_k, gradI * amp_k).
+// fields must come from the matching forward Aerial call. gradMask is
+// overwritten, not accumulated into.
+func (s *Simulator) AerialBackward(gradI []float64, fields *Fields, gradMask []float64) {
+	if fields == nil {
+		panic("litho: AerialBackward requires fields from Aerial")
+	}
+	for i := range gradMask {
+		gradMask[i] = 0
+	}
+	for k := range s.bank {
+		w := s.bank[k].Weight
+		amp := fields.Amp[k]
+		for i := range s.acc {
+			s.acc[i] = 2 * w * gradI[i] * amp[i]
+		}
+		s.plan.Correlate(s.acc, s.kffts[k], s.field)
+		if s.clock != nil {
+			s.clock.Charge(simclock.CostConvolution, 1)
+		}
+		for i := range gradMask {
+			gradMask[i] += s.field[i]
+		}
+	}
+}
+
+// Resist applies the constant-threshold resist sigmoid (Eq. 2) to an aerial
+// image.
+func (s *Simulator) Resist(aerial []float64, out []float64) {
+	ResistSigmoid(s.P.ThetaZ, s.P.Ith, aerial, out)
+}
+
+// ResistBackward converts dL/dT into dL/dI for the sigmoid resist:
+// dT/dI = tz * T * (1-T). It overwrites gradI.
+func (s *Simulator) ResistBackward(gradT, t []float64, gradI []float64) {
+	tz := s.P.ThetaZ
+	for i := range gradI {
+		gradI[i] = gradT[i] * tz * t[i] * (1 - t[i])
+	}
+}
+
+// PrintedImage runs the full single-mask forward model (aerial + resist) and
+// returns the resist image as a grid matching g's raster geometry.
+func (s *Simulator) PrintedImage(mask *grid.Grid) *grid.Grid {
+	if mask.W != s.W || mask.H != s.H {
+		panic(fmt.Sprintf("litho: mask raster %dx%d != simulator %dx%d", mask.W, mask.H, s.W, s.H))
+	}
+	aerial := make([]float64, s.W*s.H)
+	s.Aerial(mask.Data, aerial, nil)
+	out := grid.NewLike(mask)
+	s.Resist(aerial, out.Data)
+	return out
+}
+
+// ComposeDouble writes the double-patterning printed image
+// T = min(T1+T2, 1) (Eq. 3) into out, and returns, via the boolean raster
+// sat, which pixels were clamped (the gradient is zero there).
+func ComposeDouble(t1, t2, out []float64, sat []bool) {
+	for i := range out {
+		v := t1[i] + t2[i]
+		if v > 1 {
+			out[i] = 1
+			if sat != nil {
+				sat[i] = true
+			}
+		} else {
+			out[i] = v
+			if sat != nil {
+				sat[i] = false
+			}
+		}
+	}
+}

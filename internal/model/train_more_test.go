@@ -1,0 +1,79 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrainWithMSEAndLog(t *testing.T) {
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := syntheticDataset(16, 9)
+	var log strings.Builder
+	tc := DefaultTrainConfig()
+	tc.Epochs = 3
+	tc.BatchSize = 8
+	tc.UseMSE = true
+	tc.Log = &log
+	if _, err := p.Train(ds, tc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "epoch   1/3") {
+		t.Fatalf("no epoch log: %q", log.String())
+	}
+}
+
+func TestTrainLRDecayApplied(t *testing.T) {
+	// Decay must not break training; loss after decay epochs must remain
+	// finite and the history complete.
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := syntheticDataset(16, 10)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 6
+	tc.BatchSize = 8
+	tc.DecayAt = 3
+	tc.DecayFactor = 0.1
+	hist, err := p.Train(ds, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 6 {
+		t.Fatalf("history = %d", len(hist))
+	}
+	for i, l := range hist {
+		if l != l || l < 0 { // NaN or negative
+			t.Fatalf("loss[%d] = %g", i, l)
+		}
+	}
+}
+
+func TestAugmentedEightfold(t *testing.T) {
+	ds := syntheticDataset(5, 11)
+	aug := ds.Augmented()
+	if aug.Len() != 40 {
+		t.Fatalf("augmented len = %d, want 40", aug.Len())
+	}
+	// Labels are preserved across all transforms of each sample.
+	for i, s := range aug.Samples {
+		if s.Score != ds.Samples[i/8].Score {
+			t.Fatalf("augmented label %d drifted", i)
+		}
+	}
+	// The eight images of one sample are pairwise distinct for a generic
+	// asymmetric image.
+	first := aug.Samples[:8]
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if first[i].Image.Equal(first[j].Image, 0) {
+				// Symmetric synthetic images may collide; tolerate
+				// only a few collisions.
+				t.Logf("transforms %d and %d coincide (symmetric image)", i, j)
+			}
+		}
+	}
+}

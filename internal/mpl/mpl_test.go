@@ -1,0 +1,225 @@
+package mpl
+
+import (
+	"testing"
+
+	"ldmo/internal/geom"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+)
+
+// triangleLayout builds three mutually-conflicting contacts (an odd SP
+// cycle): undecomposable with two masks, trivially decomposable with three.
+func triangleLayout() layout.Layout {
+	return layout.Layout{
+		Name:   "triangle",
+		Window: geom.RectWH(0, 0, layout.TileNM, layout.TileNM),
+		Patterns: []geom.Rect{
+			geom.RectWH(100, 100, 65, 65),
+			geom.RectWH(230, 100, 65, 65), // 65nm from A
+			geom.RectWH(165, 225, 65, 65), // 60nm above both
+		},
+	}
+}
+
+func TestTriangleIsOddCycle(t *testing.T) {
+	l := triangleLayout()
+	adj := layout.ConflictGraph(l.Patterns, 80)
+	for i, nbrs := range adj {
+		if len(nbrs) != 2 {
+			t.Fatalf("vertex %d has degree %d, want 2", i, len(nbrs))
+		}
+	}
+	if ok, _ := layout.IsBipartite(adj); ok {
+		t.Fatal("triangle must not be 2-colorable")
+	}
+}
+
+func TestGreedyColoringTriangle(t *testing.T) {
+	l := triangleLayout()
+	if _, err := GreedyColoring(l, 80, 2); err == nil {
+		t.Fatal("2-coloring a triangle must fail")
+	}
+	colors, err := GreedyColoring(l, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colors[0] == colors[1] || colors[1] == colors[2] || colors[0] == colors[2] {
+		t.Fatalf("triangle colors not distinct: %v", colors)
+	}
+}
+
+func TestGreedyColoringLibraryCells(t *testing.T) {
+	for _, cell := range layout.Cells() {
+		colors, err := GreedyColoring(cell, 80, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", cell.Name, err)
+		}
+		if !New(cell, 3, colors).Valid(80) {
+			t.Fatalf("%s: greedy 3-coloring invalid", cell.Name)
+		}
+	}
+}
+
+func TestCanonicalizeRelabels(t *testing.T) {
+	l := triangleLayout()
+	a := New(l, 3, []uint8{2, 0, 1}).Canonicalize()
+	if a.Assign[0] != 0 || a.Assign[1] != 1 || a.Assign[2] != 2 {
+		t.Fatalf("canonical = %v", a.Assign)
+	}
+	// Permuted assignments share a key.
+	b := New(l, 3, []uint8{1, 2, 0})
+	if a.Key() != b.Key() {
+		t.Fatalf("permutation keys differ: %s vs %s", a.Key(), b.Key())
+	}
+}
+
+func TestNewPanicsOnLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(triangleLayout(), 3, []uint8{0})
+}
+
+func TestGenerateTriple(t *testing.T) {
+	l := triangleLayout()
+	cands, err := Generate(l, layout.DefaultClassifyParams(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, a := range cands {
+		if !a.Valid(80) {
+			t.Fatalf("candidate %s invalid", a.Key())
+		}
+		if a.Masks != 3 {
+			t.Fatalf("masks = %d", a.Masks)
+		}
+	}
+}
+
+func TestGenerateWithFreePatterns(t *testing.T) {
+	l := triangleLayout()
+	// Add two isolated contacts: free ternary factors.
+	l.Patterns = append(l.Patterns,
+		geom.RectWH(400, 100, 65, 65),
+		geom.RectWH(400, 350, 65, 65))
+	cands, err := Generate(l, layout.DefaultClassifyParams(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 3 {
+		t.Fatalf("free factors gave only %d candidates", len(cands))
+	}
+	keys := map[string]bool{}
+	for _, a := range cands {
+		if keys[a.Key()] {
+			t.Fatal("duplicate candidate")
+		}
+		keys[a.Key()] = true
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(triangleLayout(), layout.DefaultClassifyParams(), 1, 1); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := Generate(layout.Layout{Name: "empty"}, layout.DefaultClassifyParams(), 3, 1); err == nil {
+		t.Fatal("empty layout must error")
+	}
+}
+
+func TestMaskGridsPartition(t *testing.T) {
+	l := triangleLayout()
+	a := New(l, 3, []uint8{0, 1, 2})
+	grids := a.MaskGrids(8)
+	if len(grids) != 3 {
+		t.Fatalf("grids = %d", len(grids))
+	}
+	total := 0.0
+	for _, g := range grids {
+		total += g.Sum()
+	}
+	if total != l.Rasterize(8).Sum() {
+		t.Fatal("mask grids do not partition the target")
+	}
+}
+
+func TestTripleILTPrintsOddCycle(t *testing.T) {
+	// The headline of the extension: an odd SP cycle that double
+	// patterning cannot manufacture prints cleanly with three masks.
+	l := triangleLayout()
+	p := litho.FastParams()
+	opt, err := NewOptimizer(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Generate(l, layout.DefaultClassifyParams(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := opt.Run(cands[0])
+	if r.Violations.Any() {
+		t.Fatalf("triple patterning left violations: %+v", r.Violations)
+	}
+	if r.EPE.Violations > 2 {
+		t.Fatalf("triple patterning EPE = %d", r.EPE.Violations)
+	}
+	if len(r.Masks) != 3 || r.Printed == nil {
+		t.Fatal("result images missing")
+	}
+
+	// The same layout on two masks must force a same-mask SP pair and
+	// print with a bridge.
+	dp := New(l, 2, []uint8{0, 1, 0})
+	opt2, err := NewOptimizer(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := opt2.Run(dp)
+	if !r2.Violations.Any() && r2.EPE.Violations <= r.EPE.Violations {
+		t.Fatal("double patterning of an odd cycle should print worse than triple")
+	}
+}
+
+func TestGenerateQuadruple(t *testing.T) {
+	// Four masks trivially color any library cell; candidates stay legal
+	// and deduplicated.
+	l, err := layout.Cell("AOI22_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Generate(l, layout.DefaultClassifyParams(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	seen := map[string]bool{}
+	for _, a := range cands {
+		if !a.Valid(80) {
+			t.Fatalf("invalid: %s", a.Key())
+		}
+		if seen[a.Key()] {
+			t.Fatal("duplicate")
+		}
+		seen[a.Key()] = true
+	}
+}
+
+func TestCanonicalizeFourMasks(t *testing.T) {
+	l := triangleLayout()
+	l.Patterns = append(l.Patterns, geom.RectWH(420, 420, 65, 65))
+	a := New(l, 4, []uint8{3, 1, 0, 2}).Canonicalize()
+	want := []uint8{0, 1, 2, 3}
+	for i := range want {
+		if a.Assign[i] != want[i] {
+			t.Fatalf("canonical = %v", a.Assign)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package mst provides the minimum-spanning-tree machinery the decomposition
+// generator builds on (paper §III-A): a union-find structure, Kruskal's
+// algorithm over the SP pattern graph, connected components, and the
+// alternating 2-coloring of each spanning tree that fixes the relative mask
+// assignment of separated patterns.
+package mst
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UnionFind is a disjoint-set forest with union by rank and path compression.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), rank: make([]int, n), count: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; it reports whether a merge happened
+// (false when they were already joined).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Count returns the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// Edge is a weighted undirected edge between vertex indices U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Forest is the result of a spanning-forest computation.
+type Forest struct {
+	N          int     // vertex count
+	Edges      []Edge  // selected tree edges
+	Weight     float64 // total selected weight
+	Components []int   // component id per vertex, 0-based consecutive
+	NumComp    int
+}
+
+// Kruskal computes a minimum spanning forest of the graph with n vertices
+// and the given edge list. Disconnected graphs yield one tree per component.
+// Ties are broken deterministically by (weight, U, V).
+func Kruskal(n int, edges []Edge) Forest {
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			panic(fmt.Sprintf("mst: edge (%d,%d) outside [0,%d)", e.U, e.V, n))
+		}
+	}
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	uf := NewUnionFind(n)
+	f := Forest{N: n}
+	for _, e := range sorted {
+		if e.U == e.V {
+			continue
+		}
+		if uf.Union(e.U, e.V) {
+			f.Edges = append(f.Edges, e)
+			f.Weight += e.W
+		}
+	}
+	// Densify component ids.
+	idOf := make(map[int]int)
+	f.Components = make([]int, n)
+	for v := 0; v < n; v++ {
+		root := uf.Find(v)
+		id, ok := idOf[root]
+		if !ok {
+			id = len(idOf)
+			idOf[root] = id
+		}
+		f.Components[v] = id
+	}
+	f.NumComp = len(idOf)
+	return f
+}
+
+// TwoColor alternately colors each tree of the forest by BFS from the lowest
+// vertex of each component, returning color 0/1 per vertex. Adjacent tree
+// vertices get opposite colors: the relative mask assignment of SP patterns
+// the paper derives from the MST. Flipping all colors of one component is
+// the remaining degree of freedom (the component "factor" fed to the n-wise
+// sampler).
+func (f Forest) TwoColor() []int {
+	adj := make([][]int, f.N)
+	for _, e := range f.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	color := make([]int, f.N)
+	seen := make([]bool, f.N)
+	var queue []int
+	for s := 0; s < f.N; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		color[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					color[v] = 1 - color[u]
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return color
+}
+
+// ComponentMembers groups vertex indices by component id.
+func (f Forest) ComponentMembers() [][]int {
+	out := make([][]int, f.NumComp)
+	for v, c := range f.Components {
+		out[c] = append(out[c], v)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Count() != 5 {
+		t.Fatalf("count = %d", u.Count())
+	}
+	if !u.Union(0, 1) || !u.Union(1, 2) {
+		t.Fatal("union failed")
+	}
+	if u.Union(0, 2) {
+		t.Fatal("union of joined sets reported merge")
+	}
+	if !u.Connected(0, 2) || u.Connected(0, 3) {
+		t.Fatal("connectivity wrong")
+	}
+	if u.Count() != 3 {
+		t.Fatalf("count = %d, want 3", u.Count())
+	}
+}
+
+func TestUnionFindInvariantsQuick(t *testing.T) {
+	// Property: after any union sequence, Connected is an equivalence
+	// relation consistent with the unions performed.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		u := NewUnionFind(n)
+		ref := make([]int, n) // brute-force labels
+		for i := range ref {
+			ref[i] = i
+		}
+		for k := 0; k < 30; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			u.Union(a, b)
+			la, lb := ref[a], ref[b]
+			if la != lb {
+				for i := range ref {
+					if ref[i] == lb {
+						ref[i] = la
+					}
+				}
+			}
+		}
+		sets := map[int]bool{}
+		for i := 0; i < n; i++ {
+			sets[ref[i]] = true
+			for j := 0; j < n; j++ {
+				if u.Connected(i, j) != (ref[i] == ref[j]) {
+					return false
+				}
+			}
+		}
+		return u.Count() == len(sets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKruskalKnownGraph(t *testing.T) {
+	// The paper's Fig. 3 style graph: weights pick the light edges.
+	edges := []Edge{
+		{0, 1, 75}, {1, 2, 78}, {0, 2, 60}, {2, 3, 76},
+	}
+	f := Kruskal(4, edges)
+	if f.NumComp != 1 {
+		t.Fatalf("components = %d", f.NumComp)
+	}
+	if f.Weight != 60+75+76 {
+		t.Fatalf("weight = %g, want 211", f.Weight)
+	}
+	if len(f.Edges) != 3 {
+		t.Fatalf("tree edges = %d", len(f.Edges))
+	}
+}
+
+func TestKruskalDisconnected(t *testing.T) {
+	f := Kruskal(5, []Edge{{0, 1, 1}, {1, 2, 2}, {3, 4, 1}})
+	if f.NumComp != 2 {
+		t.Fatalf("components = %d, want 2", f.NumComp)
+	}
+	if f.Components[0] != f.Components[2] || f.Components[0] == f.Components[3] {
+		t.Fatalf("component ids = %v", f.Components)
+	}
+	members := f.ComponentMembers()
+	if len(members) != 2 || len(members[0])+len(members[1]) != 5 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestKruskalIsolatedVertices(t *testing.T) {
+	f := Kruskal(3, nil)
+	if f.NumComp != 3 || len(f.Edges) != 0 {
+		t.Fatalf("forest = %+v", f)
+	}
+}
+
+func TestKruskalSelfLoopIgnored(t *testing.T) {
+	f := Kruskal(2, []Edge{{0, 0, 1}, {0, 1, 5}})
+	if len(f.Edges) != 1 || f.Weight != 5 {
+		t.Fatalf("forest = %+v", f)
+	}
+}
+
+func TestKruskalPanicsOnBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Kruskal(2, []Edge{{0, 5, 1}})
+}
+
+// bruteForceMSTWeight enumerates all spanning trees of a small connected
+// graph via edge subsets.
+func bruteForceMSTWeight(n int, edges []Edge) float64 {
+	best := -1.0
+	m := len(edges)
+	for mask := 0; mask < 1<<m; mask++ {
+		u := NewUnionFind(n)
+		w := 0.0
+		cnt := 0
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				u.Union(edges[i].U, edges[i].V)
+				w += edges[i].W
+				cnt++
+			}
+		}
+		if u.Count() == 1 && cnt == n-1 && (best < 0 || w < best) {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestKruskalMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4) // 3-6 vertices
+		var edges []Edge
+		// Ensure connectivity with a random spanning path, then add
+		// extra random edges.
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			edges = append(edges, Edge{perm[i-1], perm[i], float64(1 + rng.Intn(100))})
+		}
+		for k := 0; k < n; k++ {
+			edges = append(edges, Edge{rng.Intn(n), rng.Intn(n), float64(1 + rng.Intn(100))})
+		}
+		var clean []Edge
+		for _, e := range edges {
+			if e.U != e.V {
+				clean = append(clean, e)
+			}
+		}
+		got := Kruskal(n, clean)
+		want := bruteForceMSTWeight(n, clean)
+		return got.Weight == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoColorProperTree(t *testing.T) {
+	f := Kruskal(6, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {4, 5, 1}})
+	colors := f.TwoColor()
+	for _, e := range f.Edges {
+		if colors[e.U] == colors[e.V] {
+			t.Fatalf("tree edge (%d,%d) monochromatic", e.U, e.V)
+		}
+	}
+	for _, c := range colors {
+		if c != 0 && c != 1 {
+			t.Fatalf("color %d out of range", c)
+		}
+	}
+}
+
+func TestTwoColorQuick(t *testing.T) {
+	// Property: for any random forest, TwoColor never gives a tree edge
+	// matching endpoint colors.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		var edges []Edge
+		for k := 0; k < n; k++ {
+			edges = append(edges, Edge{rng.Intn(n), rng.Intn(n), rng.Float64() * 10})
+		}
+		forest := Kruskal(n, edges)
+		colors := forest.TwoColor()
+		for _, e := range forest.Edges {
+			if colors[e.U] == colors[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentIDsDense(t *testing.T) {
+	f := Kruskal(6, []Edge{{0, 3, 1}, {1, 4, 1}})
+	seen := map[int]bool{}
+	for _, c := range f.Components {
+		seen[c] = true
+	}
+	if len(seen) != f.NumComp {
+		t.Fatalf("component ids not dense: %v", f.Components)
+	}
+	for c := range seen {
+		if c < 0 || c >= f.NumComp {
+			t.Fatalf("component id %d out of range", c)
+		}
+	}
+}

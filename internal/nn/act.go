@@ -1,0 +1,42 @@
+package nn
+
+import "ldmo/internal/tensor"
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.NewLike(x)
+	if len(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gin := tensor.NewLike(grad)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			gin.Data[i] = g
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }

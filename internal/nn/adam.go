@@ -1,0 +1,63 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba), the paper's choice for training
+// the predictor: "Adam computes individual adaptive learning rates for
+// different parameters which is more suitable for large scale data".
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to every gradient-bearing parameter. The moment
+// buffers are allocated lazily and keyed by position, so the same parameter
+// slice must be passed on every call.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			if p.NoGrad {
+				continue
+			}
+			a.m[i] = make([]float64, len(p.Data))
+			a.v[i] = make([]float64, len(p.Data))
+		}
+	}
+	if len(a.m) != len(params) {
+		panic("nn: Adam.Step called with a different parameter set")
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		if p.NoGrad {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j]
+			if a.WeightDecay != 0 {
+				g += a.WeightDecay * p.Data[j]
+			}
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mhat := m[j] / bc1
+			vhat := v[j] / bc2
+			p.Data[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdamPanicsOnChangedParamSet(t *testing.T) {
+	a := NewAdam(0.1)
+	p1 := newParam("a", 2)
+	a.Step([]*Param{p1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on different param set size")
+		}
+	}()
+	a.Step([]*Param{p1, newParam("b", 2)})
+}
+
+func TestAdamWeightDecayShrinksParams(t *testing.T) {
+	// With zero gradients, weight decay alone must pull weights toward 0.
+	p := newParam("w", 3)
+	for i := range p.Data {
+		p.Data[i] = 1
+	}
+	a := NewAdam(0.01)
+	a.WeightDecay = 0.1
+	for it := 0; it < 100; it++ {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+		a.Step([]*Param{p})
+	}
+	for i, v := range p.Data {
+		if v >= 1 {
+			t.Fatalf("param[%d] = %g did not decay", i, v)
+		}
+	}
+}
+
+func TestAdamBiasCorrectionFirstStep(t *testing.T) {
+	// After one step with gradient g, the update magnitude is ~LR
+	// regardless of g's scale (the defining Adam property).
+	for _, g := range []float64{1e-4, 1, 1e4} {
+		p := newParam("x", 1)
+		p.Grad[0] = g
+		a := NewAdam(0.05)
+		a.Step([]*Param{p})
+		// Eps in the denominator perturbs the size slightly for small g.
+		if math.Abs(math.Abs(p.Data[0])-0.05) > 1e-4 {
+			t.Fatalf("first-step size for g=%g: %g", g, p.Data[0])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math/rand"
+
+	"ldmo/internal/tensor"
+)
+
+// BasicBlock is the ResNet-18 residual unit: two 3x3 conv+BN stages with an
+// identity (or 1x1-conv downsample) skip connection and ReLU activations.
+type BasicBlock struct {
+	conv1 *Conv2D
+	bn1   *BatchNorm2D
+	relu1 *ReLU
+	conv2 *Conv2D
+	bn2   *BatchNorm2D
+
+	// downsample path, nil for identity skips
+	downConv *Conv2D
+	downBN   *BatchNorm2D
+
+	// forward cache for the final ReLU and the skip add
+	sumMask []bool
+}
+
+// NewBasicBlock builds a residual block mapping inC channels to outC with
+// the given stride on the first convolution. A projection shortcut is added
+// automatically when the shapes differ.
+func NewBasicBlock(rng *rand.Rand, inC, outC, stride int) *BasicBlock {
+	b := &BasicBlock{
+		conv1: NewConv2D(rng, inC, outC, 3, stride, 1, false),
+		bn1:   NewBatchNorm2D(outC),
+		relu1: NewReLU(),
+		conv2: NewConv2D(rng, outC, outC, 3, 1, 1, false),
+		bn2:   NewBatchNorm2D(outC),
+	}
+	if stride != 1 || inC != outC {
+		b.downConv = NewConv2D(rng, inC, outC, 1, stride, 0, false)
+		b.downBN = NewBatchNorm2D(outC)
+	}
+	return b
+}
+
+// Forward implements Layer.
+func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := b.conv1.Forward(x, train)
+	main = b.bn1.Forward(main, train)
+	main = b.relu1.Forward(main, train)
+	main = b.conv2.Forward(main, train)
+	main = b.bn2.Forward(main, train)
+
+	skip := x
+	if b.downConv != nil {
+		skip = b.downConv.Forward(x, train)
+		skip = b.downBN.Forward(skip, train)
+	}
+	// out = relu(main + skip); record the ReLU mask for backward.
+	out := tensor.NewLike(main)
+	if len(b.sumMask) < main.Len() {
+		b.sumMask = make([]bool, main.Len())
+	}
+	for i := range main.Data {
+		s := main.Data[i] + skip.Data[i]
+		if s > 0 {
+			out.Data[i] = s
+			b.sumMask[i] = true
+		} else {
+			b.sumMask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// Through the final ReLU.
+	g := tensor.NewLike(grad)
+	for i := range grad.Data {
+		if b.sumMask[i] {
+			g.Data[i] = grad.Data[i]
+		}
+	}
+	// Main path.
+	gm := b.bn2.Backward(g)
+	gm = b.conv2.Backward(gm)
+	gm = b.relu1.Backward(gm)
+	gm = b.bn1.Backward(gm)
+	gm = b.conv1.Backward(gm)
+	// Skip path.
+	var gs *tensor.Tensor
+	if b.downConv != nil {
+		gs = b.downBN.Backward(g)
+		gs = b.downConv.Backward(gs)
+	} else {
+		gs = g
+	}
+	gm.AddInto(gs)
+	return gm
+}
+
+// Params implements Layer.
+func (b *BasicBlock) Params() []*Param {
+	out := append([]*Param{}, b.conv1.Params()...)
+	out = append(out, b.bn1.Params()...)
+	out = append(out, b.conv2.Params()...)
+	out = append(out, b.bn2.Params()...)
+	if b.downConv != nil {
+		out = append(out, b.downConv.Params()...)
+		out = append(out, b.downBN.Params()...)
+	}
+	return out
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldmo/internal/tensor"
+)
+
+// Conv2D is a square-kernel 2-D convolution implemented as im2col + matmul.
+// ResNet-style convolutions carry no bias (batch norm follows them); set
+// withBias for standalone use.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+
+	weight *Param // OutC x (InC*K*K)
+	bias   *Param // OutC, optional
+
+	// forward cache
+	in   *tensor.Tensor
+	cols [][]float64 // per batch item
+	geom tensor.ConvGeom
+}
+
+// NewConv2D builds a convolution layer with He-initialized weights.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int, withBias bool) *Conv2D {
+	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid conv %d->%d k%d s%d p%d", inC, outC, k, stride, pad))
+	}
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad}
+	c.weight = newParam("conv.weight", outC*inC*k*k)
+	heInit(rng, c.weight.Data, inC*k*k)
+	if withBias {
+		c.bias = newParam("conv.bias", outC)
+	}
+	return c
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.C != c.InC {
+		panic(fmt.Sprintf("nn: conv expects %d channels, got %s", c.InC, x.ShapeString()))
+	}
+	c.in = x
+	c.geom = tensor.ConvGeom{InC: c.InC, InH: x.H, InW: x.W, K: c.K, Stride: c.Stride, Pad: c.Pad}
+	oh, ow := c.geom.OutH(), c.geom.OutW()
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: conv output empty for input %s", x.ShapeString()))
+	}
+	out := tensor.New(x.N, c.OutC, oh, ow)
+	ck := c.InC * c.K * c.K
+	cols := oh * ow
+	if cap(c.cols) < x.N {
+		c.cols = make([][]float64, x.N)
+	}
+	c.cols = c.cols[:x.N]
+	imgLen := c.InC * x.H * x.W
+	outLen := c.OutC * cols
+	for n := 0; n < x.N; n++ {
+		if len(c.cols[n]) < ck*cols {
+			c.cols[n] = make([]float64, ck*cols)
+		}
+		col := c.cols[n]
+		tensor.Im2Col(x.Data[n*imgLen:(n+1)*imgLen], c.geom, col)
+		tensor.MatMul(c.weight.Data, c.OutC, ck, col, cols, out.Data[n*outLen:(n+1)*outLen])
+	}
+	if c.bias != nil {
+		for n := 0; n < x.N; n++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.bias.Data[oc]
+				base := n*outLen + oc*cols
+				for i := 0; i < cols; i++ {
+					out.Data[base+i] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.in
+	oh, ow := c.geom.OutH(), c.geom.OutW()
+	cols := oh * ow
+	ck := c.InC * c.K * c.K
+	outLen := c.OutC * cols
+	imgLen := c.InC * x.H * x.W
+
+	gin := tensor.NewLike(x)
+	gradW := make([]float64, len(c.weight.Data))
+	gcol := make([]float64, ck*cols)
+	for n := 0; n < x.N; n++ {
+		g := grad.Data[n*outLen : (n+1)*outLen]
+		// dW += gradOut x col^T
+		tensor.MatMulABT(g, c.OutC, cols, c.cols[n], ck, gradW)
+		for i := range gradW {
+			c.weight.Grad[i] += gradW[i]
+		}
+		// dCol = W^T x gradOut, then scatter back to image space.
+		tensor.MatMulATB(c.weight.Data, c.OutC, ck, g, cols, gcol)
+		tensor.Col2Im(gcol, c.geom, gin.Data[n*imgLen:(n+1)*imgLen])
+		if c.bias != nil {
+			for oc := 0; oc < c.OutC; oc++ {
+				s := 0.0
+				for i := 0; i < cols; i++ {
+					s += g[oc*cols+i]
+				}
+				c.bias.Grad[oc] += s
+			}
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.bias != nil {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}

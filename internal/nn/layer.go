@@ -1,0 +1,66 @@
+// Package nn is a from-scratch neural-network library sufficient to build
+// and train the paper's printability predictor: convolutions (im2col),
+// batch normalization, ReLU, pooling, linear layers, residual basic blocks,
+// MAE/MSE losses and the Adam optimizer, all with hand-written backward
+// passes verified against numerical gradients in the tests.
+//
+// It replaces the PyTorch/GPU stack the paper trains ResNet-18 on; see
+// DESIGN.md, substitution table row 2. Layers are single-threaded and cache
+// their forward activations, so a layer instance serves one forward/backward
+// pair at a time.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"ldmo/internal/tensor"
+)
+
+// Param is one learnable (or tracked) parameter vector of a layer.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+	// NoGrad marks tracked state (batch-norm running statistics) that is
+	// serialized with the model but skipped by the optimizer.
+	NoGrad bool
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+func newStateParam(name string, n int) *Param {
+	return &Param{Name: name, Data: make([]float64, n), NoGrad: true}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward consumes x and returns the activation. train selects
+	// training behaviour (batch statistics in BatchNorm). The layer may
+	// retain references to x and its output for Backward.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input), having
+	// accumulated parameter gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's parameters, tracked state included.
+	Params() []*Param
+}
+
+// heInit fills w with Kaiming-normal values for fanIn inputs.
+func heInit(rng *rand.Rand, w []float64, fanIn int) {
+	std := math.Sqrt(2 / float64(fanIn))
+	for i := range w {
+		w[i] = rng.NormFloat64() * std
+	}
+}
+
+// ZeroGrads clears the gradient buffers of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}

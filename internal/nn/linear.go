@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldmo/internal/tensor"
+)
+
+// Linear is a fully connected layer over the flattened C*H*W features of its
+// input. Its output has shape N x Out x 1 x 1.
+type Linear struct {
+	In, Out int
+
+	weight *Param // Out x In
+	bias   *Param // Out
+
+	in *tensor.Tensor
+}
+
+// NewLinear builds a fully connected layer with He-initialized weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid linear %d->%d", in, out))
+	}
+	l := &Linear{In: in, Out: out}
+	l.weight = newParam("linear.weight", out*in)
+	heInit(rng, l.weight.Data, in)
+	l.bias = newParam("linear.bias", out)
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	feat := x.C * x.H * x.W
+	if feat != l.In {
+		panic(fmt.Sprintf("nn: linear expects %d features, got %s", l.In, x.ShapeString()))
+	}
+	l.in = x
+	out := tensor.New(x.N, l.Out, 1, 1)
+	for n := 0; n < x.N; n++ {
+		tensor.MatMul(l.weight.Data, l.Out, l.In, x.Data[n*feat:(n+1)*feat], 1, out.Data[n*l.Out:(n+1)*l.Out])
+		for o := 0; o < l.Out; o++ {
+			out.Data[n*l.Out+o] += l.bias.Data[o]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := l.in
+	feat := l.In
+	gin := tensor.NewLike(x)
+	for n := 0; n < x.N; n++ {
+		g := grad.Data[n*l.Out : (n+1)*l.Out]
+		xi := x.Data[n*feat : (n+1)*feat]
+		// dW[o,i] += g[o] * x[i]; db[o] += g[o]; dx[i] = sum_o W[o,i]*g[o].
+		for o := 0; o < l.Out; o++ {
+			go_ := g[o]
+			l.bias.Grad[o] += go_
+			wrow := l.weight.Data[o*feat : (o+1)*feat]
+			gwrow := l.weight.Grad[o*feat : (o+1)*feat]
+			gi := gin.Data[n*feat : (n+1)*feat]
+			for i := 0; i < feat; i++ {
+				gwrow[i] += go_ * xi[i]
+				gi[i] += wrow[i] * go_
+			}
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math"
+
+	"ldmo/internal/tensor"
+)
+
+// Loss computes a scalar training objective and its gradient with respect to
+// the predictions.
+type Loss interface {
+	// Eval returns the loss value and dL/dpred. pred and target must have
+	// identical shapes.
+	Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor)
+}
+
+// MAE is the mean absolute error, the paper's Eq. 10 cost function chosen
+// for robustness against label noise from the ILT scoring.
+type MAE struct{}
+
+// Eval implements Loss. The subgradient at zero is 0.
+func (MAE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic("nn: MAE shape mismatch")
+	}
+	grad := tensor.NewLike(pred)
+	n := float64(pred.Len())
+	sum := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		sum += math.Abs(d)
+		switch {
+		case d > 0:
+			grad.Data[i] = 1 / n
+		case d < 0:
+			grad.Data[i] = -1 / n
+		}
+	}
+	return sum / n, grad
+}
+
+// MSE is the mean squared error, used as the ablation alternative to MAE.
+type MSE struct{}
+
+// Eval implements Loss.
+func (MSE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic("nn: MSE shape mismatch")
+	}
+	grad := tensor.NewLike(pred)
+	n := float64(pred.Len())
+	sum := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		sum += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return sum / n, grad
+}

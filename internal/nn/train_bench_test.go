@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldmo/internal/tensor"
+)
+
+// BenchmarkTinyNetStep measures one forward+backward+step on a batch of 16
+// 64x64 images through the reduced predictor topology — the unit of
+// training work.
+func BenchmarkTinyNetStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork(
+		NewConv2D(rng, 1, 8, 7, 2, 3, false),
+		NewBatchNorm2D(8),
+		NewReLU(),
+		NewMaxPool2D(3, 2, 1),
+		NewBasicBlock(rng, 8, 8, 1),
+		NewBasicBlock(rng, 8, 16, 2),
+		NewBasicBlock(rng, 16, 32, 2),
+		NewBasicBlock(rng, 32, 48, 2),
+		NewGlobalAvgPool(),
+		NewLinear(rng, 48, 64),
+		NewReLU(),
+		NewLinear(rng, 64, 1),
+	)
+	adam := NewAdam(1e-3)
+	x := tensor.New(16, 1, 64, 64)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	tgt := tensor.New(16, 1, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred := net.Forward(x, true)
+		_, grad := MAE{}.Eval(pred, tgt)
+		ZeroGrads(net.Params())
+		net.Backward(grad)
+		adam.Step(net.Params())
+	}
+}

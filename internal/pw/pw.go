@@ -1,0 +1,171 @@
+// Package pw adds process-window analysis on top of the lithography
+// substrate: a mask pair is evaluated not only at the nominal process corner
+// but across dose and defocus excursions, yielding per-corner printability
+// and the process-variation (PV) band. The mask-optimization literature the
+// paper builds on ([6] MOSAIC, [7], [9]) treats process-window awareness as
+// the mark of a production-grade flow; this package is the corresponding
+// extension of the reproduction.
+package pw
+
+import (
+	"fmt"
+
+	"ldmo/internal/epe"
+	"ldmo/internal/grid"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+)
+
+// Corner is one process condition: a dose multiplier and a focus blur
+// scale applied to the optical kernels.
+type Corner struct {
+	Name string
+	// Dose scales exposure intensity (1 = nominal; 0.95 = 5% underdose).
+	Dose float64
+	// Defocus scales the kernel radii (1 = nominal; 1.1 = 10% blur).
+	Defocus float64
+}
+
+// DefaultCorners returns the classic 5-corner window: nominal, dose +-5%,
+// and defocus at nominal/overdosed conditions.
+func DefaultCorners() []Corner {
+	return []Corner{
+		{Name: "nominal", Dose: 1, Defocus: 1},
+		{Name: "dose+5%", Dose: 1.05, Defocus: 1},
+		{Name: "dose-5%", Dose: 0.95, Defocus: 1},
+		{Name: "defocus", Dose: 1, Defocus: 1.12},
+		{Name: "worst", Dose: 0.95, Defocus: 1.12},
+	}
+}
+
+// CornerResult is the printability of one corner.
+type CornerResult struct {
+	Corner     Corner
+	EPE        epe.Result
+	L2         float64
+	Violations epe.Violations
+	Printed    *grid.Grid
+}
+
+// Report is the process-window evaluation of one mask pair.
+type Report struct {
+	Corners []CornerResult
+	// PVBandArea is the pixel count printed in some but not all corners —
+	// the standard process-variation band measure.
+	PVBandArea int
+	// PVBand marks the band itself (1 where corners disagree).
+	PVBand *grid.Grid
+}
+
+// WorstEPE returns the largest per-corner EPE violation count.
+func (r Report) WorstEPE() int {
+	worst := 0
+	for _, c := range r.Corners {
+		if c.EPE.Violations > worst {
+			worst = c.EPE.Violations
+		}
+	}
+	return worst
+}
+
+// TotalViolations sums print violations across corners.
+func (r Report) TotalViolations() int {
+	total := 0
+	for _, c := range r.Corners {
+		total += c.Violations.Total()
+	}
+	return total
+}
+
+// Analyzer evaluates mask pairs across process corners. It owns one
+// simulator per corner (kernels differ per defocus scale).
+type Analyzer struct {
+	layout  layout.Layout
+	params  litho.Params
+	corners []Corner
+	sims    []*litho.Simulator
+	cps     []epe.Checkpoint
+	meter   epe.Meter
+	target  *grid.Grid
+}
+
+// NewAnalyzer builds a process-window analyzer for one layout. corners may
+// be nil for the default 5-corner window.
+func NewAnalyzer(l layout.Layout, p litho.Params, corners []Corner) (*Analyzer, error) {
+	if len(l.Patterns) == 0 {
+		return nil, fmt.Errorf("pw: layout %q has no patterns", l.Name)
+	}
+	if corners == nil {
+		corners = DefaultCorners()
+	}
+	w := l.Window.W() / p.Resolution
+	h := l.Window.H() / p.Resolution
+	a := &Analyzer{
+		layout:  l,
+		params:  p,
+		corners: corners,
+		meter:   epe.NewMeter(),
+		target:  l.Rasterize(p.Resolution),
+	}
+	for _, c := range corners {
+		if c.Dose <= 0 || c.Defocus <= 0 {
+			return nil, fmt.Errorf("pw: corner %q has non-positive dose/defocus", c.Name)
+		}
+		cp := p
+		cp.Gain = p.Gain * c.Dose
+		cp.Sigma = p.Sigma * c.Defocus
+		cp.DefocusSigma = p.DefocusSigma * c.Defocus
+		sim, err := litho.NewSimulator(w, h, cp)
+		if err != nil {
+			return nil, fmt.Errorf("pw: corner %q: %w", c.Name, err)
+		}
+		a.sims = append(a.sims, sim)
+	}
+	a.cps = epe.GenerateCheckpoints(l.Patterns, 40)
+	return a, nil
+}
+
+// Analyze evaluates the given continuous masks (same raster as the layout)
+// across all corners.
+func (a *Analyzer) Analyze(m1, m2 *grid.Grid) Report {
+	var rep Report
+	n := a.target.W * a.target.H
+	printedAll := make([]bool, n) // printed in every corner
+	printedAny := make([]bool, n) // printed in some corner
+	for i := range printedAll {
+		printedAll[i] = true
+	}
+	aerial := make([]float64, n)
+	resist1 := make([]float64, n)
+	resist2 := make([]float64, n)
+	for ci, sim := range a.sims {
+		sim.Aerial(m1.Data, aerial, nil)
+		sim.Resist(aerial, resist1)
+		sim.Aerial(m2.Data, aerial, nil)
+		sim.Resist(aerial, resist2)
+		composed := grid.NewLike(a.target)
+		litho.ComposeDouble(resist1, resist2, composed.Data, nil)
+
+		cr := CornerResult{
+			Corner:     a.corners[ci],
+			EPE:        a.meter.Measure(composed, a.cps),
+			L2:         composed.L2Diff(a.target),
+			Violations: epe.CheckPrintViolations(composed, a.layout.Patterns, a.params.PrintThreshold),
+			Printed:    composed,
+		}
+		rep.Corners = append(rep.Corners, cr)
+		for i, v := range composed.Data {
+			printed := v >= a.params.PrintThreshold
+			printedAll[i] = printedAll[i] && printed
+			printedAny[i] = printedAny[i] || printed
+		}
+	}
+	rep.PVBand = grid.NewLike(a.target)
+	for i := range printedAny {
+		if printedAny[i] && !printedAll[i] {
+			rep.PVBand.Data[i] = 1
+			rep.PVBandArea++
+		}
+	}
+	return rep
+}

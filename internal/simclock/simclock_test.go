@@ -1,0 +1,125 @@
+package simclock
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestChargeAndSeconds(t *testing.T) {
+	var m Model
+	m[CostConvolution] = 0.5
+	m[CostCNNInference] = 2
+	c := New(m)
+	c.Charge(CostConvolution, 4)
+	c.Charge(CostCNNInference, 3)
+	if got := c.Seconds(); got != 4*0.5+3*2 {
+		t.Fatalf("Seconds = %g", got)
+	}
+	if got := c.Count(CostConvolution); got != 4 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	var m Model
+	m[CostConvolution] = 1
+	c := New(m)
+	c.SetPhase("DS")
+	c.Charge(CostConvolution, 3)
+	c.SetPhase("MO")
+	c.Charge(CostConvolution, 2)
+	if got := c.PhaseSeconds("DS"); got != 3 {
+		t.Fatalf("DS seconds = %g", got)
+	}
+	if got := c.PhaseSeconds("MO"); got != 2 {
+		t.Fatalf("MO seconds = %g", got)
+	}
+	if got := c.Seconds(); got != 5 {
+		t.Fatalf("total = %g", got)
+	}
+	ph := c.Phases()
+	if len(ph) != 2 || ph[0] != "DS" || ph[1] != "MO" {
+		t.Fatalf("phases = %v", ph)
+	}
+	if c.Phase() != "MO" {
+		t.Fatalf("current phase = %q", c.Phase())
+	}
+}
+
+func TestPhaseSecondsUnknown(t *testing.T) {
+	c := New(DefaultModel())
+	if c.PhaseSeconds("nope") != 0 {
+		t.Fatal("unknown phase must cost 0")
+	}
+}
+
+func TestNilAndZeroCharges(t *testing.T) {
+	var c *Clock
+	c.Charge(CostConvolution, 5) // must not panic
+	cl := New(DefaultModel())
+	cl.Charge(CostConvolution, 0)
+	if cl.Seconds() != 0 {
+		t.Fatal("zero charge must not accumulate")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(DefaultModel())
+	c.Charge(CostSDPSolve, 2)
+	c.Reset()
+	if c.Seconds() != 0 {
+		t.Fatal("Reset did not clear counts")
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	var m Model
+	m[CostGraphOp] = 1
+	c := New(m)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Charge(CostGraphOp, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Seconds(); got != 1600 {
+		t.Fatalf("concurrent total = %g", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestReport(t *testing.T) {
+	c := New(DefaultModel())
+	c.Charge(CostConvolution, 10)
+	c.SetPhase("MO")
+	c.Charge(CostCNNInference, 1)
+	r := c.Report()
+	if !strings.Contains(r, "convolution=10") || !strings.Contains(r, "MO") {
+		t.Fatalf("report = %q", r)
+	}
+}
+
+func TestDefaultModelPositive(t *testing.T) {
+	m := DefaultModel()
+	for k := Kind(0); k < numKinds; k++ {
+		if m[k] <= 0 {
+			t.Errorf("default cost for %v is %g", k, m[k])
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package tensor provides the dense NCHW tensors and the matrix/convolution
+// primitives (matmul, im2col/col2im) underneath the neural-network layers of
+// the printability predictor. Everything is float64 and single-threaded;
+// batch-level parallelism lives in the training loop, not here.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense 4-D array in NCHW layout (batch, channels, height,
+// width). Fully connected activations use H = W = 1. The zero Tensor is
+// unusable; construct with New.
+type Tensor struct {
+	N, C, H, W int
+	Data       []float64
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(n, c, h, w int) *Tensor {
+	if n <= 0 || c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%dx%dx%d", n, c, h, w))
+	}
+	return &Tensor{N: n, C: c, H: h, W: w, Data: make([]float64, n*c*h*w)}
+}
+
+// NewLike returns a zero tensor with t's shape.
+func NewLike(t *Tensor) *Tensor { return New(t.N, t.C, t.H, t.W) }
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return t.N * t.C * t.H * t.W }
+
+// SameShape reports whether t and u have identical dimensions.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	return t.N == u.N && t.C == u.C && t.H == u.H && t.W == u.W
+}
+
+// ShapeString renders the shape for error messages.
+func (t *Tensor) ShapeString() string {
+	return fmt.Sprintf("%dx%dx%dx%d", t.N, t.C, t.H, t.W)
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := NewLike(t)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// At returns the element at (n, c, h, w); no bounds checking beyond the
+// slice's own.
+func (t *Tensor) At(n, c, h, w int) float64 {
+	return t.Data[((n*t.C+c)*t.H+h)*t.W+w]
+}
+
+// Set writes the element at (n, c, h, w).
+func (t *Tensor) Set(n, c, h, w int, v float64) {
+	t.Data[((n*t.C+c)*t.H+h)*t.W+w] = v
+}
+
+// AddInto accumulates u into t element-wise.
+func (t *Tensor) AddInto(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: add shape mismatch %s vs %s", t.ShapeString(), u.ShapeString()))
+	}
+	for i := range t.Data {
+		t.Data[i] += u.Data[i]
+	}
+}
+
+// Scale multiplies all elements by k.
+func (t *Tensor) Scale(k float64) {
+	for i := range t.Data {
+		t.Data[i] *= k
+	}
+}
+
+// Zero clears all elements.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// MaxAbs returns the largest absolute element value.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		m = math.Max(m, math.Abs(v))
+	}
+	return m
+}
+
+// MatMul computes C = A x B for row-major matrices: A is m x k, B is k x n,
+// out is m x n. out must not alias a or b. The k-inner loop is ordered for
+// sequential access on both operands (ikj loop), which is the difference
+// between usable and unusable conv layers at these sizes.
+func MatMul(a []float64, m, k int, b []float64, n int, out []float64) {
+	if len(a) < m*k || len(b) < k*n || len(out) < m*n {
+		panic(fmt.Sprintf("tensor: matmul size mismatch m=%d k=%d n=%d (a=%d b=%d out=%d)",
+			m, k, n, len(a), len(b), len(out)))
+	}
+	for i := 0; i < m*n; i++ {
+		out[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes out = A^T x B where A is k x m (so A^T is m x k) and B
+// is k x n; out is m x n. Used for weight gradients.
+func MatMulATB(a []float64, k, m int, b []float64, n int, out []float64) {
+	if len(a) < k*m || len(b) < k*n || len(out) < m*n {
+		panic("tensor: matmulATB size mismatch")
+	}
+	for i := 0; i < m*n; i++ {
+		out[i] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		arow := a[kk*m : (kk+1)*m]
+		brow := b[kk*n : (kk+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes out = A x B^T where A is m x k and B is n x k; out is
+// m x n. Used for convolution weight gradients (gradOut x col^T).
+func MatMulABT(a []float64, m, k int, b []float64, n int, out []float64) {
+	if len(a) < m*k || len(b) < n*k || len(out) < m*n {
+		panic("tensor: matmulABT size mismatch")
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for kk := 0; kk < k; kk++ {
+				s += arow[kk] * brow[kk]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// ConvGeom describes one convolution geometry.
+type ConvGeom struct {
+	InC, InH, InW int
+	K             int // square kernel edge
+	Stride, Pad   int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
+
+// Im2Col expands one image (C x H x W, flat) into a column matrix of shape
+// (C*K*K) x (OutH*OutW), row-major, so convolution becomes a matmul with the
+// (OutC) x (C*K*K) weight matrix. Out-of-bounds taps read 0.
+func Im2Col(img []float64, g ConvGeom, col []float64) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	if len(img) < g.InC*g.InH*g.InW || len(col) < g.InC*g.K*g.K*cols {
+		panic("tensor: im2col size mismatch")
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := img[c*g.InH*g.InW:]
+		for ky := 0; ky < g.K; ky++ {
+			for kx := 0; kx < g.K; kx++ {
+				dst := col[row*cols:]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						for ox := 0; ox < ow; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					base := iy * g.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix < 0 || ix >= g.InW {
+							dst[i] = 0
+						} else {
+							dst[i] = plane[base+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column-matrix gradient back into image space, the adjoint
+// of Im2Col. The image buffer is zeroed first.
+func Col2Im(col []float64, g ConvGeom, img []float64) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	if len(img) < g.InC*g.InH*g.InW || len(col) < g.InC*g.K*g.K*cols {
+		panic("tensor: col2im size mismatch")
+	}
+	for i := 0; i < g.InC*g.InH*g.InW; i++ {
+		img[i] = 0
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := img[c*g.InH*g.InW:]
+		for ky := 0; ky < g.K; ky++ {
+			for kx := 0; kx < g.K; kx++ {
+				src := col[row*cols:]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						i += ow
+						continue
+					}
+					base := iy * g.InW
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix >= 0 && ix < g.InW {
+							plane[base+ix] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

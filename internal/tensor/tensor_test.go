@@ -1,0 +1,290 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	if x.Len() != 120 || len(x.Data) != 120 {
+		t.Fatalf("len = %d", x.Len())
+	}
+	x.Set(1, 2, 3, 4, 7)
+	if x.At(1, 2, 3, 4) != 7 {
+		t.Fatal("At/Set roundtrip")
+	}
+	if x.Data[119] != 7 {
+		t.Fatal("NCHW layout wrong")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 1, 1, 1)
+}
+
+func TestCloneAndShape(t *testing.T) {
+	x := New(1, 2, 3, 4)
+	x.Data[0] = 5
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 5 {
+		t.Fatal("clone shares storage")
+	}
+	if !x.SameShape(y) || x.SameShape(New(1, 2, 4, 3)) {
+		t.Fatal("SameShape wrong")
+	}
+	if x.ShapeString() != "1x2x3x4" {
+		t.Fatalf("shape string %q", x.ShapeString())
+	}
+}
+
+func TestAddScaleZeroMaxAbs(t *testing.T) {
+	x := New(1, 1, 1, 3)
+	copy(x.Data, []float64{1, -4, 2})
+	y := x.Clone()
+	x.AddInto(y)
+	if x.Data[1] != -8 {
+		t.Fatal("AddInto wrong")
+	}
+	x.Scale(0.5)
+	if x.Data[1] != -4 {
+		t.Fatal("Scale wrong")
+	}
+	if x.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %g", x.MaxAbs())
+	}
+	x.Zero()
+	if x.MaxAbs() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestAddIntoPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 1, 1, 2).AddInto(New(1, 1, 2, 1))
+}
+
+func TestMatMulKnown(t *testing.T) {
+	// [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	out := make([]float64, 4)
+	MatMul(a, 2, 2, b, 2, out)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("matmul = %v", out)
+		}
+	}
+}
+
+func TestMatMulRect(t *testing.T) {
+	// (1x3) x (3x2)
+	a := []float64{1, 2, 3}
+	b := []float64{1, 4, 2, 5, 3, 6}
+	out := make([]float64, 2)
+	MatMul(a, 1, 3, b, 2, out)
+	if out[0] != 14 || out[1] != 32 {
+		t.Fatalf("matmul = %v", out)
+	}
+}
+
+func TestMatMulATBMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k, m, n := 7, 4, 5
+	a := make([]float64, k*m)
+	b := make([]float64, k*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	got := make([]float64, m*n)
+	MatMulATB(a, k, m, b, n, got)
+	// Reference: transpose A explicitly.
+	at := make([]float64, m*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			at[j*k+i] = a[i*m+j]
+		}
+	}
+	want := make([]float64, m*n)
+	MatMul(at, m, k, b, n, want)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ATB mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatMulPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(make([]float64, 3), 2, 2, make([]float64, 4), 2, make([]float64, 4))
+}
+
+func TestConvGeomOutDims(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 8, InW: 8, K: 3, Stride: 1, Pad: 1}
+	if g.OutH() != 8 || g.OutW() != 8 {
+		t.Fatalf("same conv out %dx%d", g.OutH(), g.OutW())
+	}
+	g = ConvGeom{InC: 1, InH: 8, InW: 8, K: 3, Stride: 2, Pad: 1}
+	if g.OutH() != 4 || g.OutW() != 4 {
+		t.Fatalf("strided conv out %dx%d", g.OutH(), g.OutW())
+	}
+	g = ConvGeom{InC: 1, InH: 7, InW: 7, K: 7, Stride: 1, Pad: 0}
+	if g.OutH() != 1 || g.OutW() != 1 {
+		t.Fatalf("full conv out %dx%d", g.OutH(), g.OutW())
+	}
+}
+
+// directConv is the naive reference convolution for one image.
+func directConv(img []float64, g ConvGeom, weight []float64, outC int) []float64 {
+	oh, ow := g.OutH(), g.OutW()
+	out := make([]float64, outC*oh*ow)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := 0.0
+				for c := 0; c < g.InC; c++ {
+					for ky := 0; ky < g.K; ky++ {
+						for kx := 0; kx < g.K; kx++ {
+							iy := oy*g.Stride - g.Pad + ky
+							ix := ox*g.Stride - g.Pad + kx
+							if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+								continue
+							}
+							w := weight[((oc*g.InC+c)*g.K+ky)*g.K+kx]
+							s += w * img[(c*g.InH+iy)*g.InW+ix]
+						}
+					}
+				}
+				out[(oc*oh+oy)*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColConvMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConvGeom{InC: 3, InH: 9, InW: 7, K: 3, Stride: 2, Pad: 1}
+	outC := 4
+	img := make([]float64, g.InC*g.InH*g.InW)
+	for i := range img {
+		img[i] = rng.NormFloat64()
+	}
+	weight := make([]float64, outC*g.InC*g.K*g.K)
+	for i := range weight {
+		weight[i] = rng.NormFloat64()
+	}
+	cols := g.OutH() * g.OutW()
+	col := make([]float64, g.InC*g.K*g.K*cols)
+	Im2Col(img, g, col)
+	got := make([]float64, outC*cols)
+	MatMul(weight, outC, g.InC*g.K*g.K, col, cols, got)
+	want := directConv(img, g, weight, outC)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("conv mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCol2ImAdjoint(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> — the identity conv backward needs.
+	rng := rand.New(rand.NewSource(5))
+	g := ConvGeom{InC: 2, InH: 6, InW: 5, K: 3, Stride: 2, Pad: 1}
+	cols := g.OutH() * g.OutW()
+	x := make([]float64, g.InC*g.InH*g.InW)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, g.InC*g.K*g.K*cols)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	cx := make([]float64, len(y))
+	Im2Col(x, g, cx)
+	iy := make([]float64, len(x))
+	Col2Im(y, g, iy)
+	var lhs, rhs float64
+	for i := range cx {
+		lhs += cx[i] * y[i]
+	}
+	for i := range x {
+		rhs += x[i] * iy[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-9*(math.Abs(lhs)+1) {
+		t.Fatalf("adjoint identity: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestMatMulAssociativityQuick(t *testing.T) {
+	// (A x B) x 1s == A x (B x 1s) for random small matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		for i := range a {
+			a[i] = float64(rng.Intn(7) - 3)
+		}
+		for i := range b {
+			b[i] = float64(rng.Intn(7) - 3)
+		}
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		ab := make([]float64, m*n)
+		MatMul(a, m, k, b, n, ab)
+		lhs := make([]float64, m)
+		MatMul(ab, m, n, ones, 1, lhs)
+		bOnes := make([]float64, k)
+		MatMul(b, k, n, ones, 1, bOnes)
+		rhs := make([]float64, m)
+		MatMul(a, m, k, bOnes, 1, rhs)
+		for i := range lhs {
+			if math.Abs(lhs[i]-rhs[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	const n = 64
+	a := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	out := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i % 13)
+		bb[i] = float64(i % 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, n, n, bb, n, out)
+	}
+}

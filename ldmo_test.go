@@ -1,0 +1,134 @@
+package ldmo_test
+
+import (
+	"strings"
+	"testing"
+
+	"ldmo"
+	"ldmo/internal/litho"
+)
+
+func TestPublicCellLibrary(t *testing.T) {
+	names := ldmo.CellNames()
+	if len(names) != 13 {
+		t.Fatalf("cell names = %d", len(names))
+	}
+	for _, n := range names {
+		l, err := ldmo.Cell(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Name != n || len(l.Patterns) == 0 {
+			t.Fatalf("cell %s malformed", n)
+		}
+	}
+	if _, err := ldmo.Cell("BOGUS"); err == nil {
+		t.Fatal("unknown cell must error")
+	} else if !strings.Contains(err.Error(), "BUF_X1") {
+		t.Fatal("error should list known cells")
+	}
+}
+
+func TestPublicGeometryHelpers(t *testing.T) {
+	r := ldmo.NewRect(10, 20, 3, 5)
+	if r.X0 != 3 || r.Y1 != 20 {
+		t.Fatalf("NewRect = %v", r)
+	}
+	if w := ldmo.RectWH(0, 0, 65, 65).W(); w != 65 {
+		t.Fatalf("RectWH width = %d", w)
+	}
+}
+
+func TestPublicGenerateLayouts(t *testing.T) {
+	set, err := ldmo.GenerateLayouts(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 8 {
+		t.Fatalf("generated %d", len(set))
+	}
+}
+
+func TestPublicGenerateDecompositions(t *testing.T) {
+	l, err := ldmo.Cell("AOI211_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := ldmo.GenerateDecompositions(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+}
+
+func TestPublicConfigs(t *testing.T) {
+	if err := ldmo.DefaultLithoParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := ldmo.DefaultILTConfig(); cfg.MaxIters != 29 || cfg.CheckEvery != 3 {
+		t.Fatalf("ILT defaults = %+v", cfg)
+	}
+	if cfg := ldmo.DefaultPredictorConfig(); cfg.Validate() != nil {
+		t.Fatal("predictor config invalid")
+	}
+	if cfg := ldmo.ResNet18Config(); cfg.InputSize != 224 || cfg.StageChannels[3] != 512 {
+		t.Fatalf("resnet18 config = %+v", cfg)
+	}
+	if sc := ldmo.DefaultSamplingConfig(); sc.Dth != 0.7 || sc.MatchCount != 60 {
+		t.Fatalf("sampling config = %+v", sc)
+	}
+}
+
+func TestPublicOptimizerAndFlow(t *testing.T) {
+	l, err := ldmo.Cell("INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ldmo.DefaultILTConfig()
+	cfg.Litho = litho.FastParams()
+	cfg.MaxIters = 4
+	opt, err := ldmo.NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := ldmo.GenerateDecompositions(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := opt.Run(cands[0])
+	if r.Printed == nil {
+		t.Fatal("no printed image")
+	}
+
+	fcfg := ldmo.DefaultFlowConfig()
+	fcfg.ILT = cfg
+	flow := ldmo.NewFlow(nil, fcfg)
+	res, err := flow.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates == 0 {
+		t.Fatal("flow produced no candidates")
+	}
+}
+
+func TestPublicPredictorRoundTrip(t *testing.T) {
+	cfg := ldmo.DefaultPredictorConfig()
+	cfg.InputSize = 32
+	cfg.StemChannels = 4
+	cfg.StageChannels = [4]int{4, 4, 8, 8}
+	cfg.HiddenDim = 8
+	pred, err := ldmo.NewPredictor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/p.gob"
+	if err := pred.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ldmo.LoadPredictor(path); err != nil {
+		t.Fatal(err)
+	}
+}
