@@ -9,6 +9,8 @@
 //	ldmo-bench -exp fig7 -out figs/   # printed-image comparison + PGM dumps
 //	ldmo-bench -exp fig8              # sampling-strategy comparison
 //	ldmo-bench -exp ablation          # selection-policy ablation
+//	ldmo-bench -exp parbench          # serial-vs-parallel OracleSelect,
+//	                                  # emits BENCH_parallel.json
 //	ldmo-bench -exp all               # everything
 //
 // Flags:
@@ -17,7 +19,9 @@
 //	-model PATH    use a predictor trained by ldmo-train instead of
 //	               training one ad hoc (table1/fig7 only need it)
 //	-seed N        seed for all stochastic stages
-//	-out DIR       output directory for fig7 images
+//	-out DIR       output directory for fig7 images / BENCH_parallel.json
+//	-workers N     parallel worker lanes (0 = GOMAXPROCS, honoring
+//	               LDMO_WORKERS)
 //	-q             suppress progress logging
 package main
 
@@ -26,21 +30,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"ldmo/internal/experiments"
 	"ldmo/internal/model"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, all")
 	fast := flag.Bool("fast", false, "coarse raster and reduced training budget")
 	modelPath := flag.String("model", "", "path to a trained predictor (optional)")
 	seed := flag.Int64("seed", 1, "random seed")
-	outDir := flag.String("out", "", "output directory for fig7 images")
+	outDir := flag.String("out", "", "output directory for fig7 images and BENCH_parallel.json")
+	workers := flag.Int("workers", 0, "parallel worker lanes (0 = GOMAXPROCS / LDMO_WORKERS)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	opt := experiments.Options{Fast: *fast, Seed: *seed}
+	opt := experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}
 	if !*quiet {
 		opt.Log = os.Stderr
 	}
@@ -63,7 +69,7 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation":
+	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench":
 		run(*exp)
 	default:
 		fatalf("unknown experiment %q", *exp)
@@ -120,6 +126,23 @@ func runExperiment(name string, opt experiments.Options, outDir string, w io.Wri
 			return err
 		}
 		a.Render(w)
+	case "parbench":
+		b, err := experiments.RunParallelBench(opt)
+		if err != nil {
+			return err
+		}
+		b.Render(w)
+		path := "BENCH_parallel.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(outDir, path)
+		}
+		if err := b.WriteJSON(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ func main() {
 	batch := flag.Int("batch", 16, "batch size")
 	lr := flag.Float64("lr", 1e-3, "Adam learning rate")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "parallel labeling lanes (0 = GOMAXPROCS / LDMO_WORKERS)")
 	paper := flag.Bool("paper", false, "use the paper's published sampling constants (slow)")
 	random := flag.Bool("random", false, "random-sampling baseline instead of the paper pipeline")
 	noAugment := flag.Bool("no-augment", false, "disable dihedral augmentation")
@@ -52,6 +53,7 @@ func main() {
 	sc.Clusters = *clusters
 	sc.PerCluster = *perCluster
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	var ds *model.Dataset
 	if *random {

@@ -22,6 +22,7 @@ import (
 	"ldmo/internal/grid"
 	"ldmo/internal/ilt"
 	"ldmo/internal/layout"
+	"ldmo/internal/par"
 	"ldmo/internal/simclock"
 )
 
@@ -49,6 +50,10 @@ type Config struct {
 	MaxAttempts int
 	// ClockModel prices the deterministic runtime accounting.
 	ClockModel simclock.Model
+	// Workers bounds candidate-level parallelism (OracleSelect); 0 selects
+	// par.Workers() (GOMAXPROCS, overridable via LDMO_WORKERS), 1 forces the
+	// serial path. Results are bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's flow settings over the calibrated
@@ -181,18 +186,14 @@ func (f *Flow) Run(l layout.Layout) (Result, error) {
 	}
 
 	// Every candidate tripped the print-violation check: force a full run
-	// on the best-predicted candidate and report what it achieves.
-	forcedCfg := f.cfg.ILT
-	forcedCfg.AbortOnViolation = false
-	forcedOpt, err := ilt.NewOptimizer(l, forcedCfg)
-	if err != nil {
-		return Result{}, err
-	}
-	forcedOpt.SetClock(clock)
+	// on the best-predicted candidate and report what it achieves. The
+	// existing optimizer is reused with the abort toggled off, so the
+	// kernel bank and kernel FFTs are not re-derived.
+	opt.SetAbortOnViolation(false)
 	best := cands[order[0]]
 	res.Forced = true
 	res.Chosen = best
-	res.ILT = forcedOpt.Run(best)
+	res.ILT = opt.Run(best)
 	res.Seconds = clock.Seconds()
 	return res, nil
 }
@@ -233,6 +234,12 @@ func (f *Flow) RankCandidates(l layout.Layout) ([]decomp.Decomposition, []float6
 // OracleSelect runs full ILT on every candidate and returns the truly best
 // decomposition by Eq. 9 score — the (expensive) selection upper bound the
 // predictor approximates. Used by tests and the ablation benches.
+//
+// Candidates fan out over cfg.Workers lanes, each lane owning its own
+// optimizer (Optimizer and its Simulator stay single-goroutine); per-candidate
+// results land in generation order and the argmin scan runs serially, so the
+// selected decomposition and its result are byte-identical to the serial loop
+// at any worker count.
 func OracleSelect(l layout.Layout, cfg Config, alpha, beta, gamma float64) (decomp.Decomposition, ilt.Result, error) {
 	gen := decomp.NewGenerator()
 	gen.Classify = cfg.Classify
@@ -241,24 +248,30 @@ func OracleSelect(l layout.Layout, cfg Config, alpha, beta, gamma float64) (deco
 	if err != nil {
 		return decomp.Decomposition{}, ilt.Result{}, err
 	}
+	if len(cands) == 0 {
+		return decomp.Decomposition{}, ilt.Result{}, fmt.Errorf("core: no candidates for %q", l.Name)
+	}
 	iltCfg := cfg.ILT
 	iltCfg.AbortOnViolation = false
-	opt, err := ilt.NewOptimizer(l, iltCfg)
-	if err != nil {
-		return decomp.Decomposition{}, ilt.Result{}, err
+	pool := par.NewPool(cfg.Workers)
+	lanes := min(pool.Size(), len(cands))
+	opts := make([]*ilt.Optimizer, lanes)
+	for i := range opts {
+		if opts[i], err = ilt.NewOptimizer(l, iltCfg); err != nil {
+			return decomp.Decomposition{}, ilt.Result{}, err
+		}
 	}
+	results := par.MapSlice(pool, len(cands), func(worker, i int) ilt.Result {
+		return opts[worker].Run(cands[i])
+	})
 	bestIdx := -1
 	var bestRes ilt.Result
 	bestScore := 0.0
-	for i, d := range cands {
-		r := opt.Run(d)
+	for i, r := range results {
 		s := r.Score(alpha, beta, gamma)
 		if bestIdx < 0 || s < bestScore {
 			bestIdx, bestRes, bestScore = i, r, s
 		}
-	}
-	if bestIdx < 0 {
-		return decomp.Decomposition{}, ilt.Result{}, fmt.Errorf("core: no candidates for %q", l.Name)
 	}
 	return cands[bestIdx], bestRes, nil
 }

@@ -24,6 +24,7 @@ import (
 	"ldmo/internal/ilt"
 	"ldmo/internal/layout"
 	"ldmo/internal/model"
+	"ldmo/internal/par"
 	"ldmo/internal/sampling"
 	"ldmo/internal/simclock"
 )
@@ -43,6 +44,10 @@ type Options struct {
 	PoolSize int
 	// Predictor, when non-nil, is used instead of training one ad hoc.
 	Predictor *model.Predictor
+	// Workers bounds the harness's parallel fan-outs (candidate ILT,
+	// labeling, per-cell sweeps); 0 selects par.Workers(), 1 forces every
+	// path serial. All outputs are bit-identical at any worker count.
+	Workers int
 }
 
 // logf writes progress if a log sink is configured.
@@ -78,6 +83,7 @@ func (o Options) iltConfig() ilt.Config {
 func (o Options) samplingConfig() sampling.Config {
 	sc := sampling.DefaultConfig()
 	sc.Seed = o.Seed
+	sc.Workers = o.Workers
 	sc.ILT = o.iltConfig()
 	sc.ILT.AbortOnViolation = false // labels need full trajectories
 	if o.Fast {
@@ -105,6 +111,7 @@ func (o Options) flowConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.ILT = o.iltConfig()
 	cfg.Seed = o.Seed
+	cfg.Workers = o.Workers
 	return cfg
 }
 
@@ -185,53 +192,56 @@ type Table1 struct {
 	RatioTime [4]float64
 }
 
-// RunTable1 executes all four flows over the 13-cell library.
+// RunTable1 executes all four flows over the 13-cell library. Within each
+// cell the four flows run concurrently (they share nothing but the mutex-
+// guarded clock model constructors; only the "Ours" column touches the
+// predictor); columns land in fixed slots, so the table is deterministic.
 func RunTable1(pred *model.Predictor, o Options) (Table1, error) {
 	cells := layout.Cells()
 	iltCfg := o.iltConfig()
 	flowCfg := o.flowConfig()
 	gc := baseline.DefaultGreedyConfig()
 	flow := core.NewFlow(scorerOf(pred), flowCfg)
+	pool := par.NewPool(o.Workers)
 
 	var t Table1
 	for i, cell := range cells {
 		row := Table1Row{ID: i + 1, Cell: cell.Name}
 
-		run := func(col int, f func() (int, float64, error)) error {
+		flows := [4]func() (int, float64, error){
+			func() (int, float64, error) {
+				r, err := baseline.TwoStage("spacing", cell, iltCfg, simclock.DefaultModel())
+				return r.ILT.EPE.Violations, r.Seconds, err
+			},
+			func() (int, float64, error) {
+				r, err := baseline.TwoStage("relaxation", cell, iltCfg, simclock.DefaultModel())
+				return r.ILT.EPE.Violations, r.Seconds, err
+			},
+			func() (int, float64, error) {
+				r, _, err := baseline.UnifiedGreedy(cell, iltCfg, gc, simclock.DefaultModel())
+				return r.ILT.EPE.Violations, r.Seconds, err
+			},
+			func() (int, float64, error) {
+				r, err := flow.Run(cell)
+				return r.ILT.EPE.Violations, r.Seconds, err
+			},
+		}
+		var errs [4]error
+		pool.Map(len(flows), func(_, col int) {
 			start := time.Now()
-			epeN, sec, err := f()
+			epeN, sec, err := flows[col]()
 			if err != nil {
-				return fmt.Errorf("%s/%s: %w", FlowNames[col], cell.Name, err)
+				errs[col] = fmt.Errorf("%s/%s: %w", FlowNames[col], cell.Name, err)
+				return
 			}
 			row.EPE[col] = epeN
 			row.Time[col] = sec
 			row.Wall[col] = time.Since(start).Seconds()
-			return nil
-		}
-
-		if err := run(0, func() (int, float64, error) {
-			r, err := baseline.TwoStage("spacing", cell, iltCfg, simclock.DefaultModel())
-			return r.ILT.EPE.Violations, r.Seconds, err
-		}); err != nil {
-			return t, err
-		}
-		if err := run(1, func() (int, float64, error) {
-			r, err := baseline.TwoStage("relaxation", cell, iltCfg, simclock.DefaultModel())
-			return r.ILT.EPE.Violations, r.Seconds, err
-		}); err != nil {
-			return t, err
-		}
-		if err := run(2, func() (int, float64, error) {
-			r, _, err := baseline.UnifiedGreedy(cell, iltCfg, gc, simclock.DefaultModel())
-			return r.ILT.EPE.Violations, r.Seconds, err
-		}); err != nil {
-			return t, err
-		}
-		if err := run(3, func() (int, float64, error) {
-			r, err := flow.Run(cell)
-			return r.ILT.EPE.Violations, r.Seconds, err
-		}); err != nil {
-			return t, err
+		})
+		for _, err := range errs {
+			if err != nil {
+				return t, err
+			}
 		}
 		t.Rows = append(t.Rows, row)
 		o.logf("table1 %2d/%d %-10s EPE %v\n", i+1, len(cells), cell.Name, row.EPE)

@@ -14,6 +14,7 @@ import (
 	"ldmo/internal/ilt"
 	"ldmo/internal/layout"
 	"ldmo/internal/model"
+	"ldmo/internal/par"
 	"ldmo/internal/sampling"
 	"ldmo/internal/simclock"
 )
@@ -104,18 +105,31 @@ func (f Fig1c) DSFraction() float64 {
 }
 
 // RunFig1c accumulates the DS/MO split of the unified greedy flow over the
-// cell library.
+// cell library. Cells fan out over the worker pool; the split is summed in
+// cell order afterwards, so the totals are bit-identical to the serial sweep.
 func RunFig1c(o Options) (Fig1c, error) {
 	var out Fig1c
 	iltCfg := o.iltConfig()
 	gc := baseline.DefaultGreedyConfig()
-	for _, cell := range layout.Cells() {
-		r, _, err := baseline.UnifiedGreedy(cell, iltCfg, gc, simclock.DefaultModel())
+	cells := layout.Cells()
+	type split struct {
+		ds, mo float64
+		err    error
+	}
+	pool := par.NewPool(o.Workers)
+	results := par.MapSlice(pool, len(cells), func(_, i int) split {
+		r, _, err := baseline.UnifiedGreedy(cells[i], iltCfg, gc, simclock.DefaultModel())
 		if err != nil {
-			return out, fmt.Errorf("fig1c/%s: %w", cell.Name, err)
+			return split{err: fmt.Errorf("fig1c/%s: %w", cells[i].Name, err)}
 		}
-		out.DSSeconds += r.DSSeconds
-		out.MOSeconds += r.MOSeconds
+		return split{ds: r.DSSeconds, mo: r.MOSeconds}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return out, r.err
+		}
+		out.DSSeconds += r.ds
+		out.MOSeconds += r.mo
 	}
 	return out, nil
 }

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ldmo/internal/core"
+	"ldmo/internal/layout"
+	"ldmo/internal/model"
+	"ldmo/internal/par"
+)
+
+// ParallelBench is the machine-readable record of the serial-vs-parallel
+// OracleSelect comparison that cmd/ldmo-bench writes to BENCH_parallel.json.
+type ParallelBench struct {
+	// Cell is the benchmark layout; Candidates its decomposition count.
+	Cell       string `json:"cell"`
+	Candidates int    `json:"candidates"`
+	// Workers is the parallel lane count measured against the serial run;
+	// GOMAXPROCS records how much hardware parallelism the host actually
+	// offers (speedup is bounded by min of the two).
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SerialSec and ParallelSec are wall-clock seconds for the full
+	// OracleSelect sweep at 1 and Workers lanes; Speedup = serial/parallel.
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+	// Identical asserts the parallel run selected the same decomposition
+	// with byte-identical masks and printed image — the determinism
+	// guarantee, checked on every bench run.
+	Identical bool `json:"identical"`
+}
+
+// RunParallelBench measures OracleSelect — full ILT on every decomposition
+// candidate of a candidate-rich cell — serially and with the worker pool,
+// and cross-checks that both selections are byte-identical.
+func RunParallelBench(o Options) (ParallelBench, error) {
+	cell, err := layout.Cell("AOI211_X1")
+	if err != nil {
+		return ParallelBench{}, err
+	}
+	cfg := o.flowConfig()
+	w := model.DefaultScoreWeights()
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	out := ParallelBench{Cell: cell.Name, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	cfg.Workers = 1
+	start := time.Now()
+	dSerial, rSerial, err := core.OracleSelect(cell, cfg, w.Alpha, w.Beta, w.Gamma)
+	if err != nil {
+		return out, err
+	}
+	out.SerialSec = time.Since(start).Seconds()
+
+	cfg.Workers = workers
+	start = time.Now()
+	dPar, rPar, err := core.OracleSelect(cell, cfg, w.Alpha, w.Beta, w.Gamma)
+	if err != nil {
+		return out, err
+	}
+	out.ParallelSec = time.Since(start).Seconds()
+
+	if out.ParallelSec > 0 {
+		out.Speedup = out.SerialSec / out.ParallelSec
+	}
+	flow := core.NewFlow(nil, cfg)
+	if cands, _, err := flow.RankCandidates(cell); err == nil {
+		out.Candidates = len(cands)
+	}
+	out.Identical = dSerial.Key() == dPar.Key() &&
+		rSerial.L2 == rPar.L2 &&
+		rSerial.EPE.Violations == rPar.EPE.Violations &&
+		gridEqual(rSerial.M1.Data, rPar.M1.Data) &&
+		gridEqual(rSerial.M2.Data, rPar.M2.Data) &&
+		gridEqual(rSerial.Printed.Data, rPar.Printed.Data)
+	o.logf("parbench %s: %d candidates, serial %.2fs, parallel %.2fs @%d workers (%.2fx), identical=%v\n",
+		out.Cell, out.Candidates, out.SerialSec, out.ParallelSec, out.Workers, out.Speedup, out.Identical)
+	return out, nil
+}
+
+// gridEqual compares two rasters for exact (bitwise) equality.
+func gridEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON writes the bench record to path.
+func (b ParallelBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the human-readable summary.
+func (b ParallelBench) Render(w io.Writer) {
+	fmt.Fprintln(w, "Parallel OracleSelect benchmark")
+	fmt.Fprintf(w, "cell %s  candidates %d  workers %d (GOMAXPROCS %d)\n",
+		b.Cell, b.Candidates, b.Workers, b.GOMAXPROCS)
+	fmt.Fprintf(w, "serial %.2fs  parallel %.2fs  speedup %.2fx  identical %v\n",
+		b.SerialSec, b.ParallelSec, b.Speedup, b.Identical)
+}

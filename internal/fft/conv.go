@@ -6,14 +6,29 @@ import "fmt"
 // w x h image with kw x kh kernels. The ILT loop convolves the same kernels
 // against evolving masks hundreds of times per run, so the plan caches the
 // padded power-of-two geometry and scratch buffers, and kernels are
-// transformed once with TransformKernel.
+// transformed once with TransformKernel. The hot path (Forward/ApplySpec and
+// the Convolve/Correlate wrappers) performs no per-call allocation.
 //
-// A Plan is not safe for concurrent use; create one per goroutine.
+// A Plan is not safe for concurrent use; create one per goroutine. The one
+// sanctioned sharing pattern is fan-out over a single Forward spectrum:
+// ApplySpecWith and CorrelateWith may be called from several goroutines
+// simultaneously on one plan as long as each caller owns a distinct Scratch
+// (the methods only read plan geometry and the shared spectrum).
 type Plan struct {
-	W, H   int // image size
-	KW, KH int // kernel size (odd in both dimensions)
-	PW, PH int // padded transform size (powers of two)
-	buf    []complex128
+	W, H    int // image size
+	KW, KH  int // kernel size (odd in both dimensions)
+	PW, PH  int // padded transform size (powers of two)
+	scratch Scratch
+}
+
+// Scratch is the per-goroutine workspace of one convolution lane: a forward
+// spectrum, a product/inverse-transform field, and the 2-D column strip. A
+// plan owns one Scratch for its serial methods; parallel callers allocate one
+// per worker with NewScratch.
+type Scratch struct {
+	spec []complex128
+	buf  []complex128
+	col  []complex128
 }
 
 // NewPlan builds a convolution plan. Kernel dimensions must be odd so the
@@ -27,8 +42,18 @@ func NewPlan(w, h, kw, kh int) *Plan {
 	}
 	pw := NextPow2(w + kw - 1)
 	ph := NextPow2(h + kh - 1)
-	return &Plan{W: w, H: h, KW: kw, KH: kh, PW: pw, PH: ph,
-		buf: make([]complex128, pw*ph)}
+	p := &Plan{W: w, H: h, KW: kw, KH: kh, PW: pw, PH: ph}
+	p.scratch = *p.NewScratch()
+	return p
+}
+
+// NewScratch allocates a workspace sized for this plan's padded geometry.
+func (p *Plan) NewScratch() *Scratch {
+	return &Scratch{
+		spec: make([]complex128, p.PW*p.PH),
+		buf:  make([]complex128, p.PW*p.PH),
+		col:  make([]complex128, p.PH),
+	}
 }
 
 // TransformKernel returns the frequency-domain representation of kernel
@@ -50,7 +75,7 @@ func (p *Plan) TransformKernel(kernel []float64) []complex128 {
 			kf[y*p.PW+x] = complex(kernel[ky*p.KW+kx], 0)
 		}
 	}
-	FFT2D(kf, p.PW, p.PH)
+	transform2D(kf, p.PW, p.PH, false, p.scratch.col)
 	return kf
 }
 
@@ -58,7 +83,7 @@ func (p *Plan) TransformKernel(kernel []float64) []complex128 {
 // (row-major W x H) with a transformed kernel and writes it to out.
 // out(x,y) = sum_{i,j} img(x-i, y-j) * kernel(center+(i,j)).
 func (p *Plan) Convolve(img []float64, kfft []complex128, out []float64) {
-	p.apply(img, kfft, out, false)
+	p.ConvolveWith(&p.scratch, img, kfft, out)
 }
 
 // Correlate computes the "same"-size zero-padded cross-correlation of img
@@ -66,29 +91,54 @@ func (p *Plan) Convolve(img []float64, kfft []complex128, out []float64) {
 // kernel(center+(i,j)). For symmetric kernels this equals Convolve; the ILT
 // gradient needs the correlated (adjoint) form for asymmetric ones.
 func (p *Plan) Correlate(img []float64, kfft []complex128, out []float64) {
-	p.apply(img, kfft, out, true)
+	p.CorrelateWith(&p.scratch, img, kfft, out)
 }
 
-func (p *Plan) apply(img []float64, kfft []complex128, out []float64, conj bool) {
-	spec := p.Forward(img)
-	p.ApplySpec(spec, kfft, out, conj)
+// ConvolveWith is Convolve through a caller-owned scratch, for workers
+// sharing one plan.
+func (p *Plan) ConvolveWith(s *Scratch, img []float64, kfft []complex128, out []float64) {
+	spec := p.ForwardInto(s, img)
+	p.ApplySpecWith(s, spec, kfft, out, false)
+}
+
+// CorrelateWith is Correlate through a caller-owned scratch, for workers
+// sharing one plan.
+func (p *Plan) CorrelateWith(s *Scratch, img []float64, kfft []complex128, out []float64) {
+	spec := p.ForwardInto(s, img)
+	p.ApplySpecWith(s, spec, kfft, out, true)
 }
 
 // Forward zero-pads img into the plan's transform field and returns its
-// spectrum as a fresh slice. One Forward result can be combined with many
-// transformed kernels via ApplySpec, which is how the SOCS simulator shares
-// the mask transform across its kernel bank.
+// spectrum. The returned slice is the plan's own scratch: it stays valid
+// until the next Forward/Convolve/Correlate call on the plan and must not be
+// modified. One Forward result can be combined with many transformed kernels
+// via ApplySpec, which is how the SOCS simulator shares the mask transform
+// across its kernel bank.
 func (p *Plan) Forward(img []float64) []complex128 {
+	return p.ForwardInto(&p.scratch, img)
+}
+
+// ForwardInto computes the spectrum of img in the scratch's spectrum buffer
+// and returns it. The result aliases s and is overwritten by the next
+// ForwardInto/ConvolveWith/CorrelateWith through the same scratch.
+func (p *Plan) ForwardInto(s *Scratch, img []float64) []complex128 {
 	if len(img) != p.W*p.H {
 		panic(fmt.Sprintf("fft: image length %d != %dx%d", len(img), p.W, p.H))
 	}
-	spec := make([]complex128, p.PW*p.PH)
+	spec := s.spec
 	for y := 0; y < p.H; y++ {
+		row := spec[y*p.PW : (y+1)*p.PW]
 		for x := 0; x < p.W; x++ {
-			spec[y*p.PW+x] = complex(img[y*p.W+x], 0)
+			row[x] = complex(img[y*p.W+x], 0)
+		}
+		for x := p.W; x < p.PW; x++ {
+			row[x] = 0
 		}
 	}
-	FFT2D(spec, p.PW, p.PH)
+	for i := p.H * p.PW; i < len(spec); i++ {
+		spec[i] = 0
+	}
+	transform2D(spec, p.PW, p.PH, false, s.col)
 	return spec
 }
 
@@ -96,26 +146,35 @@ func (p *Plan) Forward(img []float64) []complex128 {
 // (conjugated when conj is true, giving correlation) and inverse-transforms
 // the product into out. spec is not modified.
 func (p *Plan) ApplySpec(spec, kfft []complex128, out []float64, conj bool) {
+	p.ApplySpecWith(&p.scratch, spec, kfft, out, conj)
+}
+
+// ApplySpecWith is ApplySpec through a caller-owned scratch. Several workers
+// may call it concurrently on one plan with the same shared spec as long as
+// each passes a distinct Scratch. Passing the scratch whose spectrum buffer
+// is spec itself is safe: the product is formed in the separate buf field.
+func (p *Plan) ApplySpecWith(s *Scratch, spec, kfft []complex128, out []float64, conj bool) {
 	if len(out) != p.W*p.H {
 		panic(fmt.Sprintf("fft: out length %d != %dx%d", len(out), p.W, p.H))
 	}
 	if len(kfft) != p.PW*p.PH || len(spec) != p.PW*p.PH {
 		panic("fft: spectrum or kernel transform from a different plan")
 	}
+	buf := s.buf
 	if conj {
-		for i := range p.buf {
+		for i := range buf {
 			k := kfft[i]
-			p.buf[i] = spec[i] * complex(real(k), -imag(k))
+			buf[i] = spec[i] * complex(real(k), -imag(k))
 		}
 	} else {
-		for i := range p.buf {
-			p.buf[i] = spec[i] * kfft[i]
+		for i := range buf {
+			buf[i] = spec[i] * kfft[i]
 		}
 	}
-	IFFT2D(p.buf, p.PW, p.PH)
+	transform2D(buf, p.PW, p.PH, true, s.col)
 	for y := 0; y < p.H; y++ {
 		for x := 0; x < p.W; x++ {
-			out[y*p.W+x] = real(p.buf[y*p.PW+x])
+			out[y*p.W+x] = real(buf[y*p.PW+x])
 		}
 	}
 }

@@ -76,15 +76,22 @@ func transform(x []complex128, inverse bool) {
 
 // FFT2D transforms a w x h row-major complex raster in place (rows first,
 // then columns). Both w and h must be powers of two.
-func FFT2D(data []complex128, w, h int) { transform2D(data, w, h, false) }
+func FFT2D(data []complex128, w, h int) { transform2D(data, w, h, false, make([]complex128, h)) }
 
 // IFFT2D inverts FFT2D, including normalization.
-func IFFT2D(data []complex128, w, h int) { transform2D(data, w, h, true) }
+func IFFT2D(data []complex128, w, h int) { transform2D(data, w, h, true, make([]complex128, h)) }
 
-func transform2D(data []complex128, w, h int, inverse bool) {
+// transform2D is the shared 2-D driver. col is the caller-provided column
+// strip (len >= h); Plan threads its reusable scratch through here so the
+// convolution hot path performs no per-call allocation.
+func transform2D(data []complex128, w, h int, inverse bool, col []complex128) {
 	if len(data) != w*h {
 		panic(fmt.Sprintf("fft: data length %d != %d x %d", len(data), w, h))
 	}
+	if len(col) < h {
+		panic(fmt.Sprintf("fft: column scratch %d < %d", len(col), h))
+	}
+	col = col[:h]
 	do := FFT
 	if inverse {
 		do = IFFT
@@ -93,8 +100,7 @@ func transform2D(data []complex128, w, h int, inverse bool) {
 	for y := 0; y < h; y++ {
 		do(data[y*w : (y+1)*w])
 	}
-	// Columns, via a scratch strip.
-	col := make([]complex128, h)
+	// Columns, via the scratch strip.
 	for x := 0; x < w; x++ {
 		for y := 0; y < h; y++ {
 			col[y] = data[y*w+x]

@@ -163,6 +163,12 @@ func (o *Optimizer) SetClock(c *simclock.Clock) {
 // Config returns the normalized configuration in use.
 func (o *Optimizer) Config() Config { return o.cfg }
 
+// SetAbortOnViolation toggles the periodic print-violation abort on the
+// existing optimizer. The flow's forced best-effort rerun uses this to reuse
+// the optimizer — and with it the derived kernel bank and kernel FFTs —
+// instead of rebuilding a second one.
+func (o *Optimizer) SetAbortOnViolation(abort bool) { o.cfg.AbortOnViolation = abort }
+
 // Target returns the rasterized target image (shared; do not mutate).
 func (o *Optimizer) Target() *grid.Grid { return o.target }
 

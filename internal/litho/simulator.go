@@ -5,12 +5,18 @@ import (
 
 	"ldmo/internal/fft"
 	"ldmo/internal/grid"
+	"ldmo/internal/par"
 	"ldmo/internal/simclock"
 )
 
 // Simulator evaluates the forward optical model on a fixed w x h raster and
 // exposes the adjoint (backward) pass the ILT engine differentiates through.
-// A Simulator is not safe for concurrent use; create one per goroutine.
+// A Simulator is not safe for concurrent use; create one per goroutine. It
+// may parallelize internally across its SOCS kernel bank (see SetWorkers):
+// the mask's forward transform is computed once and shared, each worker lane
+// owns its own inverse-FFT scratch and accumulation buffers, and the
+// per-kernel contributions are reduced in fixed kernel order, so the output
+// is bit-identical to the serial evaluation.
 type Simulator struct {
 	P     Params
 	W, H  int
@@ -20,9 +26,22 @@ type Simulator struct {
 	field []float64 // scratch: amplitude field of the current kernel
 	acc   []float64 // scratch: gradient accumulation
 	clock *simclock.Clock
+
+	workers int       // kernel-level parallelism (1 = serial)
+	pool    *par.Pool // lazily built with the lane scratch below
+	lanes   []*simLane
+	kbuf    [][]float64 // per-kernel field scratch for the parallel paths
 }
 
-// NewSimulator builds a simulator for a w x h raster under params p.
+// simLane is the worker-owned scratch of one kernel-parallel lane.
+type simLane struct {
+	fs  *fft.Scratch
+	acc []float64
+}
+
+// NewSimulator builds a simulator for a w x h raster under params p. Kernel
+// parallelism defaults to min(par.Workers(), kernel count); SetWorkers
+// overrides it.
 func NewSimulator(w, h int, p Params) (*Simulator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -37,15 +56,61 @@ func NewSimulator(w, h int, p Params) (*Simulator, error) {
 	for i, k := range bank {
 		kffts[i] = plan.TransformKernel(padKernel(k, ks))
 	}
-	return &Simulator{
+	s := &Simulator{
 		P: p, W: w, H: h, bank: bank, plan: plan, kffts: kffts,
 		field: make([]float64, w*h), acc: make([]float64, w*h),
-	}, nil
+	}
+	s.SetWorkers(0)
+	return s, nil
 }
 
 // SetClock attaches a deterministic cost clock; every kernel convolution is
-// charged to it. A nil clock disables accounting.
+// charged to it. A nil clock disables accounting. The clock is mutex-guarded,
+// so one clock may be shared across many pooled simulators.
 func (s *Simulator) SetClock(c *simclock.Clock) { s.clock = c }
+
+// SetWorkers sets the kernel-level parallelism: n lanes convolve the bank
+// concurrently (n <= 0 selects par.Workers()). The count is capped at the
+// kernel count; 1 runs the plain serial loop. Output is bit-identical either
+// way.
+func (s *Simulator) SetWorkers(n int) {
+	if n <= 0 {
+		n = par.Workers()
+	}
+	if n > len(s.bank) {
+		n = len(s.bank)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n == s.workers {
+		return
+	}
+	s.workers = n
+	s.pool = nil
+	s.lanes = nil
+	s.kbuf = nil
+}
+
+// Workers returns the kernel-level parallelism in effect.
+func (s *Simulator) Workers() int { return s.workers }
+
+// ensurePar lazily builds the pool, the per-lane scratch, and the per-kernel
+// field buffers the parallel paths need.
+func (s *Simulator) ensurePar() {
+	if s.pool != nil {
+		return
+	}
+	s.pool = par.NewPool(s.workers)
+	s.lanes = make([]*simLane, s.workers)
+	for i := range s.lanes {
+		s.lanes[i] = &simLane{fs: s.plan.NewScratch(), acc: make([]float64, s.W*s.H)}
+	}
+	s.kbuf = make([][]float64, len(s.bank))
+	for i := range s.kbuf {
+		s.kbuf[i] = make([]float64, s.W*s.H)
+	}
+}
 
 // KernelCount returns the number of SOCS kernels in the bank.
 func (s *Simulator) KernelCount() int { return len(s.bank) }
@@ -75,16 +140,39 @@ func (s *Simulator) Aerial(mask []float64, out []float64, fields *Fields) {
 	for i := range out {
 		out[i] = 0
 	}
+	// The mask transform is shared by every kernel.
 	spec := s.plan.Forward(mask)
+	if s.workers > 1 && len(s.bank) > 1 {
+		s.ensurePar()
+		s.pool.Map(len(s.bank), func(lane, k int) {
+			dst := s.kbuf[k]
+			if fields != nil {
+				dst = fields.Amp[k]
+			}
+			s.plan.ApplySpecWith(s.lanes[lane].fs, spec, s.kffts[k], dst, false)
+			s.clock.Charge(simclock.CostConvolution, 1)
+		})
+		// Reduce in fixed kernel order: the per-pixel additions happen in
+		// exactly the serial loop's sequence.
+		for k := range s.bank {
+			dst := s.kbuf[k]
+			if fields != nil {
+				dst = fields.Amp[k]
+			}
+			w := s.bank[k].Weight
+			for i, a := range dst {
+				out[i] += w * a * a
+			}
+		}
+		return
+	}
 	for k := range s.bank {
 		dst := s.field
 		if fields != nil {
 			dst = fields.Amp[k]
 		}
 		s.plan.ApplySpec(spec, s.kffts[k], dst, false)
-		if s.clock != nil {
-			s.clock.Charge(simclock.CostConvolution, 1)
-		}
+		s.clock.Charge(simclock.CostConvolution, 1)
 		w := s.bank[k].Weight
 		for i, a := range dst {
 			out[i] += w * a * a
@@ -103,6 +191,26 @@ func (s *Simulator) AerialBackward(gradI []float64, fields *Fields, gradMask []f
 	for i := range gradMask {
 		gradMask[i] = 0
 	}
+	if s.workers > 1 && len(s.bank) > 1 {
+		s.ensurePar()
+		s.pool.Map(len(s.bank), func(lane, k int) {
+			ln := s.lanes[lane]
+			w := s.bank[k].Weight
+			amp := fields.Amp[k]
+			for i := range ln.acc {
+				ln.acc[i] = 2 * w * gradI[i] * amp[i]
+			}
+			s.plan.CorrelateWith(ln.fs, ln.acc, s.kffts[k], s.kbuf[k])
+			s.clock.Charge(simclock.CostConvolution, 1)
+		})
+		for k := range s.bank {
+			f := s.kbuf[k]
+			for i := range gradMask {
+				gradMask[i] += f[i]
+			}
+		}
+		return
+	}
 	for k := range s.bank {
 		w := s.bank[k].Weight
 		amp := fields.Amp[k]
@@ -110,9 +218,7 @@ func (s *Simulator) AerialBackward(gradI []float64, fields *Fields, gradMask []f
 			s.acc[i] = 2 * w * gradI[i] * amp[i]
 		}
 		s.plan.Correlate(s.acc, s.kffts[k], s.field)
-		if s.clock != nil {
-			s.clock.Charge(simclock.CostConvolution, 1)
-		}
+		s.clock.Charge(simclock.CostConvolution, 1)
 		for i := range gradMask {
 			gradMask[i] += s.field[i]
 		}

@@ -20,6 +20,7 @@ import (
 
 	"ldmo/internal/grid"
 	"ldmo/internal/nn"
+	"ldmo/internal/par"
 	"ldmo/internal/simclock"
 	"ldmo/internal/tensor"
 )
@@ -134,12 +135,20 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Predictor is the trained printability estimator.
+// Predictor is the trained printability estimator. A Predictor is not safe
+// for concurrent use, but PredictBatch parallelizes internally: the batch is
+// sharded over worker lanes, each lane forwarding through its own replica of
+// the network (nn layers are single-goroutine). Every sample's forward pass
+// is independent of its batchmates (inference-mode batch norm uses running
+// statistics), so sharded scores are bit-identical to the single-batch ones.
 type Predictor struct {
 	Cfg   Config
 	Net   *nn.Network
 	Norm  ScoreNorm
 	clock *simclock.Clock
+
+	workers int           // batch-sharding lanes; 0 = par.Workers()
+	reps    []*nn.Network // lazily built per-lane weight replicas
 }
 
 // New builds an untrained predictor for the given architecture.
@@ -179,6 +188,44 @@ func New(cfg Config) (*Predictor, error) {
 // one CNN inference.
 func (p *Predictor) SetClock(c *simclock.Clock) { p.clock = c }
 
+// SetWorkers bounds PredictBatch's internal parallelism: n lanes score batch
+// shards concurrently (0 selects par.Workers(), 1 forces the serial path).
+func (p *Predictor) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.workers = n
+	p.reps = nil
+}
+
+// invalidateReplicas drops the per-lane weight copies; called whenever the
+// canonical parameters are about to change.
+func (p *Predictor) invalidateReplicas() { p.reps = nil }
+
+// replicaNets returns n-1 lane networks holding copies of the current
+// weights (lane 0 uses p.Net itself), building and caching them on first use.
+func (p *Predictor) replicaNets(n int) ([]*nn.Network, error) {
+	for len(p.reps) < n-1 {
+		r, err := New(p.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		src := p.Net.Params()
+		dst := r.Net.Params()
+		if len(src) != len(dst) {
+			return nil, fmt.Errorf("model: replica parameter mismatch: %d vs %d", len(src), len(dst))
+		}
+		for i := range src {
+			copy(dst[i].Data, src[i].Data)
+		}
+		p.reps = append(p.reps, r.Net)
+	}
+	nets := make([]*nn.Network, n)
+	nets[0] = p.Net
+	copy(nets[1:], p.reps[:n-1])
+	return nets, nil
+}
+
 // imageToTensor packs grayscale images into an N x 1 x S x S batch,
 // resampling to the configured input size when needed.
 func (p *Predictor) imageToTensor(imgs []*grid.Grid) *tensor.Tensor {
@@ -199,18 +246,43 @@ func (p *Predictor) Predict(img *grid.Grid) float64 {
 	return p.PredictBatch([]*grid.Grid{img})[0]
 }
 
-// PredictBatch scores several images in one forward pass.
+// PredictBatch scores several images, sharding the batch across the
+// configured worker lanes when it is large enough to pay for the fan-out.
 func (p *Predictor) PredictBatch(imgs []*grid.Grid) []float64 {
 	if len(imgs) == 0 {
 		return nil
 	}
+	p.clock.Charge(simclock.CostCNNInference, len(imgs))
+	pool := par.NewPool(p.workers)
+	lanes := min(pool.Size(), len(imgs))
+	if lanes > 1 {
+		if nets, err := p.replicaNets(lanes); err == nil {
+			return p.predictSharded(imgs, pool, nets, lanes)
+		}
+		// Replica construction can only fail on a hand-corrupted Cfg;
+		// degrade to the serial path rather than dropping scores.
+	}
 	x := p.imageToTensor(imgs)
 	out := p.Net.Forward(x, false)
-	if p.clock != nil {
-		p.clock.Charge(simclock.CostCNNInference, len(imgs))
-	}
 	scores := make([]float64, len(imgs))
 	copy(scores, out.Data)
+	return scores
+}
+
+// predictSharded splits imgs into lanes contiguous shards, forwards each
+// through its lane's network replica, and reassembles scores in input order.
+func (p *Predictor) predictSharded(imgs []*grid.Grid, pool *par.Pool, nets []*nn.Network, lanes int) []float64 {
+	scores := make([]float64, len(imgs))
+	pool.Map(lanes, func(_, shard int) {
+		lo := shard * len(imgs) / lanes
+		hi := (shard + 1) * len(imgs) / lanes
+		if lo == hi {
+			return
+		}
+		x := p.imageToTensor(imgs[lo:hi])
+		out := nets[shard].Forward(x, false)
+		copy(scores[lo:hi], out.Data)
+	})
 	return scores
 }
 

@@ -88,6 +88,9 @@ func (p *Predictor) Train(ds *Dataset, tc TrainConfig) ([]float64, error) {
 	if tc.Epochs <= 0 || tc.BatchSize <= 0 || tc.LR <= 0 {
 		return nil, fmt.Errorf("model: invalid train config %+v", tc)
 	}
+	// Training rewrites the canonical weights; any cached inference
+	// replicas are stale from here on.
+	p.invalidateReplicas()
 	raw := make([]float64, ds.Len())
 	for i, s := range ds.Samples {
 		raw[i] = s.Score

@@ -1,0 +1,125 @@
+// Package par is the framework's parallel execution layer: a bounded worker
+// pool with an ordered Map primitive. Every hot loop that fans out — per-kernel
+// SOCS convolutions, per-candidate ILT runs, training-set labeling, predictor
+// batch sharding — goes through this package so parallelism policy (worker
+// count, env override, nesting) lives in one place.
+//
+// Determinism is the design constraint: Map runs fn(i) for every i exactly
+// once, each i writing only into its own slot of the caller's output, and the
+// caller reduces in fixed index order afterwards. Because every fn(i) is
+// itself deterministic and independent, the result is byte-identical to the
+// serial loop `for i := 0; i < n; i++ { fn(i) }` regardless of worker count
+// or scheduling.
+package par
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the default worker
+// count. Invalid or non-positive values are ignored.
+const EnvWorkers = "LDMO_WORKERS"
+
+// Workers returns the default pool size: the value of LDMO_WORKERS when set
+// to a positive integer, otherwise runtime.GOMAXPROCS(0).
+func Workers() int {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; construct with
+// NewPool. A Pool is stateless between Map calls and safe for concurrent use.
+type Pool struct {
+	size int
+}
+
+// NewPool returns a pool of n workers; n <= 0 selects Workers().
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = Workers()
+	}
+	return &Pool{size: n}
+}
+
+// Size returns the configured worker count.
+func (p *Pool) Size() int { return p.size }
+
+// Map runs fn(worker, i) for every i in [0, n) across at most Size() workers
+// and returns once all calls have completed. worker identifies which of the
+// pool's lanes is executing (0 <= worker < min(Size(), n)), so callers can
+// hand each lane its own single-goroutine resources (a Simulator, a Plan, an
+// Optimizer) built once before the call.
+//
+// Items are claimed dynamically, so lane assignment is nondeterministic —
+// per-worker resources must be interchangeable replicas. Output determinism
+// is the caller's contract: fn(i) writes only to slot i of its results, and
+// any reduction happens in index order after Map returns.
+//
+// With one worker (or n <= 1) Map degenerates to the serial loop on the
+// calling goroutine. A panic in any fn is re-raised on the caller.
+func (p *Pool) Map(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.size
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		pmu      sync.Mutex
+		panicked any
+	)
+	for lane := 0; lane < w; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					pmu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(lane, i)
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("par: worker panicked: %v", panicked))
+	}
+}
+
+// MapSlice runs fn across the pool and collects out[i] = fn(worker, i),
+// preserving index order. It is the common "gather" form of Map.
+func MapSlice[T any](p *Pool, n int, fn func(worker, i int) T) []T {
+	out := make([]T, n)
+	p.Map(n, func(worker, i int) {
+		out[i] = fn(worker, i)
+	})
+	return out
+}

@@ -1,0 +1,134 @@
+package par
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	t.Setenv(EnvWorkers, "")
+	os.Unsetenv(EnvWorkers)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestWorkersEnvOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "7")
+	if got := Workers(); got != 7 {
+		t.Fatalf("Workers() = %d, want 7 from env", got)
+	}
+	for _, bad := range []string{"0", "-2", "three", "2.5"} {
+		t.Setenv(EnvWorkers, bad)
+		if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+			t.Fatalf("Workers() with %s=%q = %d, want fallback %d", EnvWorkers, bad, got, want)
+		}
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	t.Setenv(EnvWorkers, "5")
+	if got := NewPool(0).Size(); got != 5 {
+		t.Fatalf("NewPool(0).Size() = %d, want env 5", got)
+	}
+	if got := NewPool(3).Size(); got != 3 {
+		t.Fatalf("NewPool(3).Size() = %d, want 3", got)
+	}
+}
+
+// TestMapMatchesSerial checks the contract: fn(i) into slot i equals the
+// serial loop, at several worker counts including more workers than items.
+func TestMapMatchesSerial(t *testing.T) {
+	const n = 137
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 200} {
+		got := MapSlice(NewPool(workers), n, func(_, i int) int { return i * i })
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapEachOnce verifies every index runs exactly once.
+func TestMapEachOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]atomic.Int32
+	NewPool(8).Map(n, func(_, i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestMapLaneBounds verifies the worker index stays within
+// [0, min(size, n)) so callers can index per-lane resources.
+func TestMapLaneBounds(t *testing.T) {
+	const n, workers = 50, 4
+	var bad atomic.Int32
+	NewPool(workers).Map(n, func(lane, _ int) {
+		if lane < 0 || lane >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker lane out of bounds")
+	}
+	// More workers than items: lanes must stay below the item count, since
+	// callers size per-lane resources as min(Size(), n).
+	NewPool(16).Map(3, func(lane, _ int) {
+		if lane >= 3 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker lane exceeded item count")
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	ran := false
+	p := NewPool(4)
+	p.Map(0, func(_, _ int) { ran = true })
+	p.Map(-3, func(_, _ int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic payload %v lost the cause", r)
+		}
+	}()
+	NewPool(4).Map(16, func(_, i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMapSerialFastPathPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on serial path")
+		}
+	}()
+	NewPool(1).Map(4, func(_, i int) { panic("serial boom") })
+}

@@ -1,0 +1,76 @@
+package sampling
+
+import (
+	"strings"
+	"testing"
+
+	"ldmo/internal/layout"
+)
+
+// TestBuildDatasetParallelBitIdentical checks the acceptance criterion for
+// the training-label fan-out: building the dataset with a worker pool yields
+// exactly the serial dataset — same sample order, scores, images, groups,
+// and even the same progress log.
+func TestBuildDatasetParallelBitIdentical(t *testing.T) {
+	p := pool(t, 3)
+
+	cfg := testConfig()
+	cfg.Workers = 1
+	var logS strings.Builder
+	dsS, groupsS, err := BuildDataset(p, cfg, &logS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Workers = 4
+	var logP strings.Builder
+	dsP, groupsP, err := BuildDataset(p, cfg, &logP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dsP.Len() != dsS.Len() {
+		t.Fatalf("parallel dataset has %d samples, serial %d", dsP.Len(), dsS.Len())
+	}
+	for i := range dsS.Samples {
+		a, b := dsS.Samples[i], dsP.Samples[i]
+		if a.Score != b.Score {
+			t.Fatalf("sample %d score %g, serial %g", i, b.Score, a.Score)
+		}
+		if a.Image.W != b.Image.W || a.Image.H != b.Image.H {
+			t.Fatalf("sample %d image shape differs", i)
+		}
+		for j := range a.Image.Data {
+			if a.Image.Data[j] != b.Image.Data[j] {
+				t.Fatalf("sample %d pixel %d differs: %g vs %g", i, j, b.Image.Data[j], a.Image.Data[j])
+			}
+		}
+	}
+	if len(groupsP) != len(groupsS) {
+		t.Fatalf("parallel groups %d, serial %d", len(groupsP), len(groupsS))
+	}
+	for g := range groupsS {
+		if len(groupsP[g]) != len(groupsS[g]) {
+			t.Fatalf("group %d size differs", g)
+		}
+		for j := range groupsS[g] {
+			if groupsP[g][j] != groupsS[g][j] {
+				t.Fatalf("group %d index %d differs", g, j)
+			}
+		}
+	}
+	if logP.String() != logS.String() {
+		t.Fatalf("progress log diverged:\nparallel:\n%s\nserial:\n%s", logP.String(), logS.String())
+	}
+}
+
+// TestBuildDatasetParallelError checks a failing layout surfaces the error
+// under the pool just as it does serially.
+func TestBuildDatasetParallelError(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	bad := layout.Layout{Name: "empty"}
+	if _, _, err := BuildDataset([]layout.Layout{bad}, cfg, nil); err == nil {
+		t.Fatal("empty layout must error under the worker pool")
+	}
+}

@@ -14,9 +14,11 @@ import (
 
 	"ldmo/internal/cluster"
 	"ldmo/internal/decomp"
+	"ldmo/internal/grid"
 	"ldmo/internal/ilt"
 	"ldmo/internal/layout"
 	"ldmo/internal/model"
+	"ldmo/internal/par"
 	"ldmo/internal/sift"
 )
 
@@ -51,6 +53,10 @@ type Config struct {
 	// Seed drives cluster initialization, per-cluster draws, and the
 	// covering-array construction.
 	Seed int64
+	// Workers bounds the labeling fan-out of BuildDataset (one optimizer
+	// per in-flight layout); 0 selects par.Workers(), 1 forces the serial
+	// loop. The dataset is bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns a CPU-scale pipeline: the paper's thresholds with
@@ -164,23 +170,48 @@ func Label(opt *ilt.Optimizer, d decomp.Decomposition, w model.ScoreWeights) flo
 // BuildDataset labels every sampled decomposition of every layout and
 // returns the dataset plus the per-layout sample-index groups (used for
 // ranking metrics). Progress lines go to log when non-nil.
+//
+// Layouts are labeled in parallel across cfg.Workers lanes — every in-flight
+// layout owns its optimizer (and hence its simulator), exactly as the serial
+// loop did — and the per-layout results are stitched into the dataset in
+// layout order, so the dataset is byte-identical to the serial build.
 func BuildDataset(layouts []layout.Layout, cfg Config, log io.Writer) (*model.Dataset, [][]int, error) {
-	ds := &model.Dataset{}
-	var groups [][]int
-	for li, l := range layouts {
+	type labeled struct {
+		imgs   []*grid.Grid
+		scores []float64
+		err    error
+	}
+	pool := par.NewPool(cfg.Workers)
+	results := par.MapSlice(pool, len(layouts), func(_, li int) labeled {
+		l := layouts[li]
 		cands, err := SampleDecompositions(l, cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("sampling: layout %s: %w", l.Name, err)
+			return labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
 		}
 		opt, err := ilt.NewOptimizer(l, cfg.ILT)
 		if err != nil {
-			return nil, nil, fmt.Errorf("sampling: layout %s: %w", l.Name, err)
+			return labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
+		}
+		out := labeled{
+			imgs:   make([]*grid.Grid, len(cands)),
+			scores: make([]float64, len(cands)),
+		}
+		for i, d := range cands {
+			out.scores[i] = Label(opt, d, cfg.Weights)
+			out.imgs[i] = d.GrayImage(cfg.Res, cfg.ImageSize)
+		}
+		return out
+	})
+	ds := &model.Dataset{}
+	var groups [][]int
+	for li, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
 		}
 		var group []int
-		for _, d := range cands {
-			score := Label(opt, d, cfg.Weights)
+		for i := range r.imgs {
 			group = append(group, ds.Len())
-			ds.Add(d.GrayImage(cfg.Res, cfg.ImageSize), score)
+			ds.Add(r.imgs[i], r.scores[i])
 		}
 		if cfg.CenterPerLayout {
 			centerGroup(ds, group)
@@ -188,7 +219,7 @@ func BuildDataset(layouts []layout.Layout, cfg Config, log io.Writer) (*model.Da
 		groups = append(groups, group)
 		if log != nil {
 			fmt.Fprintf(log, "labeled %3d/%d  %-12s  %d decompositions\n",
-				li+1, len(layouts), l.Name, len(cands))
+				li+1, len(results), layouts[li].Name, len(r.imgs))
 		}
 	}
 	return ds, groups, nil

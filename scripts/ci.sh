@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, then the race detector over the
+# packages with concurrent hot paths (worker pool, FFT scratch sharing,
+# kernel-parallel simulator, candidate fan-out).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/litho ./internal/fft ./internal/core ./internal/par
