@@ -26,14 +26,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"ldmo/internal/experiments"
 	"ldmo/internal/model"
+	"ldmo/internal/runx"
 )
 
 func main() {
@@ -43,10 +47,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	outDir := flag.String("out", "", "output directory for fig7 images and BENCH_parallel.json")
 	workers := flag.Int("workers", 0, "parallel worker lanes (0 = GOMAXPROCS / LDMO_WORKERS)")
+	deadline := flag.Duration("deadline", 0, "abandon remaining work after this wall time, e.g. 30m")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	opt := experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	opt := experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers, Ctx: ctx}
 	if !*quiet {
 		opt.Log = os.Stderr
 	}
@@ -60,6 +73,10 @@ func main() {
 
 	run := func(name string) {
 		if err := runExperiment(name, opt, *outDir, os.Stdout); err != nil {
+			if runx.Interrupted(err) {
+				fmt.Fprintf(os.Stderr, "ldmo-bench: %s interrupted: %v\n", name, err)
+				os.Exit(130)
+			}
 			fatalf("%s: %v", name, err)
 		}
 	}

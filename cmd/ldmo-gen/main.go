@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"ldmo/internal/gds"
 	"ldmo/internal/layout"
@@ -26,6 +29,9 @@ func main() {
 	gdsPath := flag.String("gds", "", "write the dataset as one GDSII library file")
 	stats := flag.Bool("stats", false, "print dataset statistics instead of writing files")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	set, err := layout.GenerateSet(*seed, *n, layout.DefaultGenParams())
 	if err != nil {
@@ -75,7 +81,13 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatalf("%v", err)
 	}
-	for _, l := range set {
+	for i, l := range set {
+		// Each CSV is written whole; an interrupt between files leaves only
+		// complete layouts behind.
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "ldmo-gen: interrupted; %d/%d layouts written to %s\n", i, len(set), *outDir)
+			os.Exit(130)
+		}
 		path := filepath.Join(*outDir, l.Name+".csv")
 		f, err := os.Create(path)
 		if err != nil {

@@ -8,15 +8,28 @@
 //	ldmo-train -o pred.gob -pool 200 -clusters 12 -per 4 -epochs 40
 //	ldmo-train -o pred.gob -paper                # paper constants (slow)
 //	ldmo-train -o pred.gob -random               # random-sampling baseline
+//	ldmo-train -o pred.gob -checkpoint ckpt/     # persist progress; Ctrl-C safe
+//	ldmo-train -o pred.gob -checkpoint ckpt/ -resume
+//
+// With -checkpoint, labeled-layout shards and the training trajectory are
+// written atomically as they complete; SIGINT/SIGTERM (or -deadline) stops
+// the run at the next safe point, and a later invocation with -resume picks
+// up where it left off, producing a model bit-identical to an uninterrupted
+// run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"ldmo/internal/layout"
 	"ldmo/internal/model"
+	"ldmo/internal/runx"
 	"ldmo/internal/sampling"
 )
 
@@ -33,12 +46,37 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's published sampling constants (slow)")
 	random := flag.Bool("random", false, "random-sampling baseline instead of the paper pipeline")
 	noAugment := flag.Bool("no-augment", false, "disable dihedral augmentation")
+	ckptDir := flag.String("checkpoint", "", "directory for labeling shards and training state")
+	resume := flag.Bool("resume", false, "continue from an existing -checkpoint directory")
+	deadline := flag.Duration("deadline", 0, "stop (checkpointing if enabled) after this wall time, e.g. 30m")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	var log *os.File
 	if !*quiet {
 		log = os.Stderr
+	}
+
+	var shardDir, trainCkpt string
+	if *ckptDir != "" {
+		shardDir = filepath.Join(*ckptDir, "shards")
+		trainCkpt = filepath.Join(*ckptDir, "train.ckpt")
+		if !*resume && checkpointExists(shardDir, trainCkpt) {
+			fatalf("checkpoint directory %s already holds state; pass -resume to continue it or remove it to start over", *ckptDir)
+		}
+		if *resume && *random {
+			fatalf("-resume is not supported with -random (the baseline labels unsharded)")
+		}
+	} else if *resume {
+		fatalf("-resume requires -checkpoint DIR")
 	}
 
 	pool, err := layout.GenerateSet(*seed, *poolSize, layout.DefaultGenParams())
@@ -62,9 +100,9 @@ func main() {
 		if err != nil {
 			fatalf("select: %v", err)
 		}
-		ref, _, err := sampling.BuildDataset(selected, sc, nil)
+		ref, _, err := sampling.BuildDatasetCtx(ctx, selected, sc, nil)
 		if err != nil {
-			fatalf("budget probe: %v", err)
+			exitInterruptible("budget probe", err, *ckptDir)
 		}
 		ds, _, err = sampling.BuildRandomDataset(pool, ref.Len(), sc, log)
 		if err != nil {
@@ -75,10 +113,15 @@ func main() {
 		if err != nil {
 			fatalf("select: %v", err)
 		}
+		sc.Checkpoint = shardDir
+		if *resume && shardDir != "" {
+			fmt.Fprintf(os.Stderr, "resuming: %d/%d layout shards already labeled\n",
+				sampling.CheckpointShards(shardDir, len(selected)), len(selected))
+		}
 		fmt.Fprintf(os.Stderr, "selected %d representative layouts\n", len(selected))
-		ds, _, err = sampling.BuildDataset(selected, sc, log)
+		ds, _, err = sampling.BuildDatasetCtx(ctx, selected, sc, log)
 		if err != nil {
-			fatalf("build dataset: %v", err)
+			exitInterruptible("build dataset", err, *ckptDir)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "labeled %d samples\n", ds.Len())
@@ -98,15 +141,40 @@ func main() {
 	tc.Seed = *seed
 	tc.Log = log
 	tc.DecayAt = (*epochs * 2) / 3
-	hist, err := pred.Train(ds, tc)
+	tc.Checkpoint = trainCkpt
+	hist, err := pred.TrainCtx(ctx, ds, tc)
 	if err != nil {
-		fatalf("train: %v", err)
+		exitInterruptible("train", err, *ckptDir)
 	}
 	fmt.Fprintf(os.Stderr, "final loss %.4f\n", hist[len(hist)-1])
 	if err := pred.Save(*out); err != nil {
 		fatalf("save: %v", err)
 	}
 	fmt.Printf("wrote %s (%d parameters)\n", *out, pred.Net.ParamCount())
+}
+
+// checkpointExists reports whether a prior run left resumable state behind.
+func checkpointExists(shardDir, trainCkpt string) bool {
+	if entries, err := os.ReadDir(shardDir); err == nil && len(entries) > 0 {
+		return true
+	}
+	_, err := os.Stat(trainCkpt)
+	return err == nil
+}
+
+// exitInterruptible distinguishes a cancellation (state saved, resumable)
+// from a genuine failure.
+func exitInterruptible(stage string, err error, ckptDir string) {
+	if runx.Interrupted(err) {
+		if ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "ldmo-train: %s interrupted; progress saved under %s — rerun with -resume to continue\n",
+				stage, ckptDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "ldmo-train: %s interrupted (no -checkpoint, progress lost)\n", stage)
+		}
+		os.Exit(130)
+	}
+	fatalf("%s: %v", stage, err)
 }
 
 func fatalf(format string, args ...any) {

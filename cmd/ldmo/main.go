@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"ldmo"
 	"ldmo/internal/core"
@@ -38,7 +41,12 @@ func main() {
 	outDir := flag.String("out", "", "directory for PGM image dumps (optional)")
 	fast := flag.Bool("fast", false, "coarse 8nm raster")
 	procWin := flag.Bool("pw", false, "evaluate the optimized masks across process corners")
+	deadline := flag.Duration("deadline", 0, "return the best result found after this wall time, e.g. 90s")
+	candDeadline := flag.Duration("cand-deadline", 0, "per-candidate ILT wall budget before falling through")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cellName == "list" {
 		for i, name := range ldmo.CellNames() {
@@ -76,9 +84,13 @@ func main() {
 	if *fast {
 		cfg.ILT.Litho.Resolution = 8
 	}
+	cfg.Budget = ldmo.Budget{Wall: *deadline, CandidateWall: *candDeadline}
 	flow := ldmo.NewFlow(scorer, cfg)
-	res, err := flow.Run(l)
+	res, err := flow.RunContext(ctx, l)
 	if err != nil {
+		if res.Interrupted {
+			fatalf("interrupted before any usable result: %v", err)
+		}
 		fatalf("%v", err)
 	}
 
@@ -88,6 +100,12 @@ func main() {
 		fmt.Printf(" (all aborted; forced best-effort run)")
 	}
 	fmt.Println()
+	if res.Interrupted {
+		fmt.Printf("NOTE          run interrupted (%v budget); reporting best state reached\n", *deadline)
+	}
+	if res.ScorerFallback {
+		fmt.Printf("NOTE          predictor failed (%v); fell back to generator order\n", res.ScorerErr)
+	}
 	fmt.Printf("decomposition %s\n", res.Chosen.Key())
 	fmt.Printf("EPE           %d violations (max %.1fnm, mean %.1fnm)\n",
 		res.ILT.EPE.Violations, res.ILT.EPE.MaxAbs, res.ILT.EPE.MeanAbs)

@@ -15,14 +15,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"ldmo/internal/decomp"
+	"ldmo/internal/faultinject"
 	"ldmo/internal/grid"
 	"ldmo/internal/ilt"
 	"ldmo/internal/layout"
 	"ldmo/internal/par"
+	"ldmo/internal/runx"
 	"ldmo/internal/simclock"
 )
 
@@ -54,6 +57,10 @@ type Config struct {
 	// par.Workers() (GOMAXPROCS, overridable via LDMO_WORKERS), 1 forces the
 	// serial path. Results are bit-identical at any worker count.
 	Workers int
+	// Budget bounds RunContext: total wall deadline, per-candidate wall
+	// deadline, and per-candidate iteration cap. The zero value is
+	// unlimited and adds no overhead to Run.
+	Budget runx.Budget
 }
 
 // DefaultConfig returns the paper's flow settings over the calibrated
@@ -105,6 +112,16 @@ type Result struct {
 	// Forced reports that every candidate tripped the violation check and
 	// the best-predicted one was re-run without aborting.
 	Forced bool
+	// Interrupted reports that cancellation or a budget deadline cut the
+	// run short; Chosen/ILT then carry the best attempted state rather
+	// than a converged result.
+	Interrupted bool
+	// ScorerFallback reports that the predictor failed (panic or error)
+	// and the flow degraded to generator candidate order — the same path
+	// as the nil-scorer ablation. ScorerErr is the converted failure; a
+	// panic surfaces as a *runx.PanicError with the worker stack.
+	ScorerFallback bool
+	ScorerErr      error
 	// PredScores holds the predictor score per candidate, aligned with the
 	// generation order.
 	PredScores []float64
@@ -120,8 +137,37 @@ const (
 	PhaseMO = "MO"
 )
 
-// Run executes the Fig. 2 flow on one layout.
+// Run executes the Fig. 2 flow on one layout. It is RunContext without
+// cancellation and is step-for-step identical to the historical behavior.
 func (f *Flow) Run(l layout.Layout) (Result, error) {
+	return f.RunContext(context.Background(), l)
+}
+
+// RunContext executes the Fig. 2 flow under a context and the configured
+// Budget, degrading instead of crashing. The ladder, from least to most
+// severe:
+//
+//  1. scorer panic or error  -> candidates in generator order (the same
+//     path as the nil-scorer ablation); Result.ScorerFallback is set;
+//  2. candidate exceeds its per-candidate budget (wall or iterations
+//     without a violation-free print) -> fall through to the next
+//     candidate, exactly like the paper's violation feedback;
+//  3. total budget exhausted / ctx cancelled -> return the best attempted
+//     result so far, tagged Interrupted.
+//
+// An error is returned only when nothing usable was computed (generation
+// failed, optimizer construction failed, or cancellation landed before any
+// candidate produced masks). With a cancellable context the optimizer
+// snapshots best-so-far state between violation checks, which adds forward
+// passes to the deterministic cost accounting; with context.Background()
+// and a zero Budget there is no extra work of any kind.
+func (f *Flow) RunContext(ctx context.Context, l layout.Layout) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := f.cfg.Budget.Apply(ctx)
+	defer cancel()
+
 	clock := simclock.New(f.cfg.ClockModel)
 	clock.SetPhase(PhaseDS)
 
@@ -135,9 +181,16 @@ func (f *Flow) Run(l layout.Layout) (Result, error) {
 		return Result{}, err
 	}
 
+	res := Result{
+		Layout:     l,
+		Candidates: len(cands),
+		Clock:      clock,
+	}
+
 	// Printability prediction: score every candidate with one CNN
 	// inference each, then sort ascending (lower score = better predicted
-	// printability).
+	// printability). A scorer crash is converted at this boundary and the
+	// flow degrades to generator order — rung 1 of the ladder.
 	order := make([]int, len(cands))
 	for i := range order {
 		order[i] = i
@@ -148,10 +201,23 @@ func (f *Flow) Run(l layout.Layout) (Result, error) {
 		for i, d := range cands {
 			imgs[i] = d.GrayImage(f.cfg.ImageRes, f.cfg.ImageSize)
 		}
-		scores = f.scorer.PredictBatch(imgs)
-		clock.Charge(simclock.CostCNNInference, len(cands))
-		sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+		serr := runx.Recover(func() error {
+			if faultinject.Enabled(faultinject.ScorerPanic) {
+				panic("faultinject: scorer panic")
+			}
+			scores = f.scorer.PredictBatch(imgs)
+			return nil
+		})
+		if serr != nil {
+			res.ScorerFallback = true
+			res.ScorerErr = serr
+			scores = nil
+		} else {
+			clock.Charge(simclock.CostCNNInference, len(cands))
+			sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+		}
 	}
+	res.PredScores = scores
 
 	// ILT with the violation-feedback loop.
 	iltCfg := f.cfg.ILT
@@ -162,38 +228,96 @@ func (f *Flow) Run(l layout.Layout) (Result, error) {
 	}
 	clock.SetPhase(PhaseMO)
 	opt.SetClock(clock)
+	if f.cfg.Budget.CandidateIters > 0 {
+		opt.SetMaxIters(f.cfg.Budget.CandidateIters)
+	}
 
 	maxAttempts := f.cfg.MaxAttempts
 	if maxAttempts <= 0 || maxAttempts > len(order) {
 		maxAttempts = len(order)
 	}
-	res := Result{
-		Layout:     l,
-		Candidates: len(cands),
-		PredScores: scores,
-		Clock:      clock,
+
+	// bestAttempt tracks the most printable result over every attempted
+	// candidate — including aborted and interrupted ones — so a budget
+	// exhaustion always has something usable to return (rung 3).
+	var bestR ilt.Result
+	var bestD decomp.Decomposition
+	haveBest := false
+	keep := func(d decomp.Decomposition, r ilt.Result) {
+		if r.M1 == nil {
+			return
+		}
+		if !haveBest ||
+			r.Violations.Total() < bestR.Violations.Total() ||
+			(r.Violations.Total() == bestR.Violations.Total() && r.L2 < bestR.L2) {
+			bestR, bestD, haveBest = r, d, true
+		}
 	}
+	exhausted := func() (Result, error) {
+		res.Interrupted = true
+		res.Seconds = clock.Seconds()
+		if !haveBest {
+			return res, fmt.Errorf("core: %q interrupted before any candidate completed: %w",
+				l.Name, ctx.Err())
+		}
+		res.Chosen = bestD
+		res.ILT = bestR
+		return res, nil
+	}
+
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return exhausted()
+		}
 		d := cands[order[attempt]]
 		res.Attempts = attempt + 1
-		r := opt.Run(d)
-		if !r.Aborted {
-			res.Chosen = d
-			res.ILT = r
-			res.Seconds = clock.Seconds()
-			return res, nil
+		cctx, ccancel := f.cfg.Budget.Candidate(ctx)
+		r := opt.RunCtx(cctx, d)
+		ccancel()
+		if r.Interrupted {
+			keep(d, r)
+			if ctx.Err() != nil {
+				// The total budget, not just the candidate's, is gone.
+				return exhausted()
+			}
+			// Rung 2a: the candidate overran its own wall budget; its best
+			// state is retained as a fallback and the next candidate gets
+			// its chance.
+			continue
 		}
+		if r.Aborted {
+			keep(d, r)
+			continue
+		}
+		if f.cfg.Budget.CandidateIters > 0 && r.Violations.Any() {
+			// Rung 2b: the candidate spent its iteration budget without a
+			// violation-free print — treat like a tripped check.
+			keep(d, r)
+			continue
+		}
+		res.Chosen = d
+		res.ILT = r
+		res.Seconds = clock.Seconds()
+		return res, nil
+	}
+
+	if ctx.Err() != nil {
+		return exhausted()
 	}
 
 	// Every candidate tripped the print-violation check: force a full run
 	// on the best-predicted candidate and report what it achieves. The
-	// existing optimizer is reused with the abort toggled off, so the
-	// kernel bank and kernel FFTs are not re-derived.
+	// existing optimizer is reused with the abort toggled off and the full
+	// iteration budget restored, so the kernel bank and kernel FFTs are
+	// not re-derived. Cancellation mid-rerun still returns the rerun's
+	// best-so-far snapshot (rung 3).
 	opt.SetAbortOnViolation(false)
+	opt.SetMaxIters(0)
 	best := cands[order[0]]
 	res.Forced = true
 	res.Chosen = best
-	res.ILT = opt.Run(best)
+	res.ILT = opt.RunCtx(ctx, best)
+	res.Interrupted = res.ILT.Interrupted
 	res.Seconds = clock.Seconds()
 	return res, nil
 }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/faultinject"
+	"ldmo/internal/grid"
+	"ldmo/internal/runx"
+)
+
+// panicScorer blows up partway through scoring a batch, like an
+// out-of-bounds in the conv stack would.
+type panicScorer struct{}
+
+func (panicScorer) PredictBatch(imgs []*grid.Grid) []float64 {
+	out := make([]float64, len(imgs))
+	for i := range out {
+		if i == len(out)/2 {
+			panic("scorer exploded mid-batch")
+		}
+		out[i] = 0.5
+	}
+	return out
+}
+
+// pollCtx is a deterministic cancellable context: Err() starts returning
+// Canceled after `allow` polls. Done() is non-nil so budget tracking is on.
+type pollCtx struct {
+	context.Context
+	allow int
+	polls int
+}
+
+func (c *pollCtx) Done() <-chan struct{} { return make(chan struct{}) }
+func (c *pollCtx) Err() error {
+	c.polls++
+	if c.polls > c.allow {
+		return context.Canceled
+	}
+	return nil
+}
+
+// candidateCount returns how many decompositions the flow will enumerate.
+func candidateCount(t *testing.T, f *Flow) int {
+	t.Helper()
+	cands, _, err := f.RankCandidates(twoRowLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(cands)
+}
+
+// TestRunContextBackgroundMatchesRun: the context path with a zero budget
+// must reproduce Run exactly.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	l := twoRowLayout()
+	f := NewFlow(nil, fastConfig())
+	want, err := f.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.RunContext(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interrupted || got.ScorerFallback {
+		t.Fatalf("clean run tagged degraded: %+v", got)
+	}
+	if want.Chosen.Key() != got.Chosen.Key() || want.ILT.L2 != got.ILT.L2 ||
+		want.Attempts != got.Attempts || want.Seconds != got.Seconds {
+		t.Fatalf("RunContext differs from Run: %v/%v, L2 %v/%v, seconds %v/%v",
+			want.Chosen.Key(), got.Chosen.Key(), want.ILT.L2, got.ILT.L2, want.Seconds, got.Seconds)
+	}
+}
+
+// TestScorerPanicFallsBackToGeneratorOrder: rung 1 — a scorer that panics
+// mid-batch degrades to the nil-scorer path and still completes.
+func TestScorerPanicFallsBackToGeneratorOrder(t *testing.T) {
+	l := twoRowLayout()
+	ref, err := NewFlow(nil, fastConfig()).Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewFlow(panicScorer{}, fastConfig()).Run(l)
+	if err != nil {
+		t.Fatalf("scorer panic escaped the flow: %v", err)
+	}
+	if !res.ScorerFallback {
+		t.Fatal("ScorerFallback not reported")
+	}
+	pe, ok := runx.AsPanic(res.ScorerErr)
+	if !ok {
+		t.Fatalf("ScorerErr %v is not a PanicError", res.ScorerErr)
+	}
+	if pe.Value != "scorer exploded mid-batch" || len(pe.Stack) == 0 {
+		t.Fatalf("panic cause/stack lost: %v", pe.Value)
+	}
+	if res.PredScores != nil {
+		t.Fatal("scores from a crashed scorer must be dropped")
+	}
+	if res.Chosen.Key() != ref.Chosen.Key() || res.ILT.L2 != ref.ILT.L2 || res.Attempts != ref.Attempts {
+		t.Fatalf("fallback differs from the nil-scorer path: %v vs %v", res.Chosen.Key(), ref.Chosen.Key())
+	}
+}
+
+// TestScorerPanicFaultPoint: the injectable variant of rung 1, proving the
+// boundary guards real scorers too.
+func TestScorerPanicFaultPoint(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.ScorerPanic, "")
+	l := twoRowLayout()
+	scores := make([]float64, 16)
+	res, err := NewFlow(constScorer{scores: scores}, fastConfig()).Run(l)
+	if err != nil {
+		t.Fatalf("injected scorer panic escaped: %v", err)
+	}
+	if !res.ScorerFallback || res.ScorerErr == nil {
+		t.Fatalf("fault point did not trigger the fallback: %+v", res.ScorerErr)
+	}
+}
+
+// TestCandidateIterationBudgetFallsThrough: rung 2 — candidates that spend
+// their iteration budget without a clean print fall through, and the forced
+// best-effort rerun (with the full budget restored) still yields a usable
+// result.
+func TestCandidateIterationBudgetFallsThrough(t *testing.T) {
+	defer faultinject.Reset()
+	// Divergence guarantees every candidate still has violations when its
+	// 3-iteration budget (exactly one check chunk, so no mid-run abort)
+	// runs out.
+	faultinject.Set(faultinject.ILTDiverge, "0")
+	cfg := fastConfig()
+	cfg.Budget.CandidateIters = cfg.ILT.CheckEvery
+	f := NewFlow(nil, cfg)
+	nc := candidateCount(t, f)
+	res, err := f.RunContext(context.Background(), twoRowLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != nc {
+		t.Fatalf("attempts = %d, want every candidate (%d) to fall through", res.Attempts, nc)
+	}
+	if !res.Forced {
+		t.Fatal("exhausted candidates must force the best-effort rerun")
+	}
+	if res.ILT.M1 == nil || res.ILT.Printed == nil {
+		t.Fatal("forced result lost its masks")
+	}
+	if res.ILT.Iters != cfg.ILT.MaxIters {
+		t.Fatalf("forced rerun ran %d iters, want the restored full budget %d",
+			res.ILT.Iters, cfg.ILT.MaxIters)
+	}
+}
+
+// TestTotalBudgetExhaustionReturnsBestAttempt: rung 3 — cancellation during
+// the candidate loop returns the best attempted state, tagged.
+func TestTotalBudgetExhaustionReturnsBestAttempt(t *testing.T) {
+	f := NewFlow(nil, fastConfig())
+	// Polls: attempt loop top (1), RunCtx chunk 1 (2), then chunk 2 (3)
+	// cancels — the first candidate is interrupted with one chunk done and
+	// the total budget is observed gone.
+	ctx := &pollCtx{Context: context.Background(), allow: 2}
+	res, err := f.RunContext(ctx, twoRowLayout())
+	if err != nil {
+		t.Fatalf("best-attempt exhaustion must not error: %v", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("exhausted run not tagged Interrupted")
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+	if res.ILT.M1 == nil || res.ILT.Printed == nil || len(res.Chosen.Assign) == 0 {
+		t.Fatal("interrupted run lost its best attempted state")
+	}
+}
+
+// TestCancelledBeforeAnyAttemptErrors: cancellation before any candidate
+// produced masks is the one case with nothing to salvage.
+func TestCancelledBeforeAnyAttemptErrors(t *testing.T) {
+	f := NewFlow(nil, fastConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := f.RunContext(ctx, twoRowLayout())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("result must still report the interruption")
+	}
+}
+
+// TestCancellationDuringForcedRerun: rung 3 during the forced best-effort
+// rerun — the rerun's best-so-far snapshot comes back, tagged, usable.
+func TestCancellationDuringForcedRerun(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.ILTDiverge, "0") // every candidate aborts
+	f := NewFlow(nil, fastConfig())
+	nc := candidateCount(t, f)
+	// Poll accounting: each aborting attempt costs 2 polls (loop top +
+	// RunCtx's single pre-chunk poll), the post-loop check costs 1, and
+	// the forced rerun polls once per chunk. Allowing one rerun chunk puts
+	// the cancellation exactly inside the forced rerun.
+	ctx := &pollCtx{Context: context.Background(), allow: 2*nc + 1 + 1}
+	res, err := f.RunContext(ctx, twoRowLayout())
+	if err != nil {
+		t.Fatalf("forced-rerun cancellation must still yield a result: %v", err)
+	}
+	if !res.Forced || !res.Interrupted {
+		t.Fatalf("want Forced+Interrupted, got %+v/%+v", res.Forced, res.Interrupted)
+	}
+	if !res.ILT.Interrupted {
+		t.Fatal("rerun result not tagged Interrupted")
+	}
+	if res.ILT.M1 == nil || res.ILT.M2 == nil || res.ILT.Printed == nil {
+		t.Fatal("interrupted rerun lost its masks")
+	}
+	if res.ILT.Iters <= 0 || res.ILT.Iters >= f.cfg.ILT.MaxIters {
+		t.Fatalf("rerun iterations = %d, want partial progress", res.ILT.Iters)
+	}
+	if res.Attempts != nc {
+		t.Fatalf("attempts = %d, want %d", res.Attempts, nc)
+	}
+}
+
+// TestRunContextKeepsDecompContract sanity-checks that the degraded paths
+// still return one of the enumerated decompositions.
+func TestRunContextKeepsDecompContract(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.ILTDiverge, "0")
+	f := NewFlow(nil, fastConfig())
+	l := twoRowLayout()
+	cands, _, err := f.RankCandidates(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, d := range cands {
+		keys[d.Key()] = true
+	}
+	res, err := f.RunContext(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chosen decomp.Decomposition = res.Chosen
+	if !keys[chosen.Key()] {
+		t.Fatalf("chosen decomposition %q is not an enumerated candidate", chosen.Key())
+	}
+}

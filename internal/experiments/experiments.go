@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -48,6 +49,18 @@ type Options struct {
 	// labeling, per-cell sweeps); 0 selects par.Workers(), 1 forces every
 	// path serial. All outputs are bit-identical at any worker count.
 	Workers int
+	// Ctx, when non-nil, bounds the run: training observes it at batch
+	// granularity, labeling stops claiming layouts once it is done, and the
+	// cell sweeps abandon remaining cells. Nil means context.Background().
+	Ctx context.Context
+}
+
+// context returns the run's context, tolerating the nil default.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // logf writes progress if a log sink is configured.
@@ -145,7 +158,7 @@ func TrainPredictor(o Options) (*model.Predictor, error) {
 		return nil, err
 	}
 	o.logf("labeling %d layouts with full ILT...\n", len(selected))
-	ds, _, err := sampling.BuildDataset(selected, sc, o.Log)
+	ds, _, err := sampling.BuildDatasetCtx(o.context(), selected, sc, o.Log)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +168,7 @@ func TrainPredictor(o Options) (*model.Predictor, error) {
 	}
 	aug := ds.Augmented()
 	o.logf("training predictor on %d samples (%d augmented)...\n", ds.Len(), aug.Len())
-	if _, err := pred.Train(aug, o.trainConfig()); err != nil {
+	if _, err := pred.TrainCtx(o.context(), aug, o.trainConfig()); err != nil {
 		return nil, err
 	}
 	return pred, nil
@@ -206,6 +219,10 @@ func RunTable1(pred *model.Predictor, o Options) (Table1, error) {
 
 	var t Table1
 	for i, cell := range cells {
+		if err := o.context().Err(); err != nil {
+			return t, fmt.Errorf("experiments: table1 interrupted after %d of %d cells: %w",
+				len(t.Rows), len(cells), err)
+		}
 		row := Table1Row{ID: i + 1, Cell: cell.Name}
 
 		flows := [4]func() (int, float64, error){

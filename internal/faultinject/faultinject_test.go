@@ -1,0 +1,73 @@
+package faultinject
+
+import "testing"
+
+func TestArmDisarm(t *testing.T) {
+	defer Reset()
+	Reset()
+	if Enabled(ScorerPanic) {
+		t.Fatal("point armed after Reset")
+	}
+	Set(ScorerPanic, "")
+	if !Enabled(ScorerPanic) {
+		t.Fatal("Set did not arm the point")
+	}
+	if Enabled(ILTDiverge) {
+		t.Fatal("unrelated point armed")
+	}
+	Clear(ScorerPanic)
+	if Enabled(ScorerPanic) {
+		t.Fatal("Clear did not disarm")
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter %d after clearing everything", armed.Load())
+	}
+}
+
+func TestArmFromSpec(t *testing.T) {
+	defer Reset()
+	Reset()
+	ArmFromSpec(" scorer-panic , ilt-diverge=2, worker-stall=3 ,")
+	if !Enabled(ScorerPanic) || !Enabled(ILTDiverge) || !Enabled(WorkerStall) {
+		t.Fatal("spec did not arm all points")
+	}
+	if got := ArgInt(ILTDiverge, -1); got != 2 {
+		t.Fatalf("ilt-diverge arg = %d, want 2", got)
+	}
+	if got := ArgInt(WorkerStall, -1); got != 3 {
+		t.Fatalf("worker-stall arg = %d, want 3", got)
+	}
+}
+
+func TestArgInt(t *testing.T) {
+	defer Reset()
+	Reset()
+	if got := ArgInt(CancelAfter, 7); got != 7 {
+		t.Fatalf("disarmed ArgInt = %d, want default 7", got)
+	}
+	Set(CancelAfter, "")
+	if got := ArgInt(CancelAfter, 7); got != 7 {
+		t.Fatalf("empty-arg ArgInt = %d, want default 7", got)
+	}
+	Set(CancelAfter, "nonsense")
+	if got := ArgInt(CancelAfter, 7); got != 7 {
+		t.Fatalf("malformed-arg ArgInt = %d, want default 7", got)
+	}
+	Set(CancelAfter, "12")
+	if got := ArgInt(CancelAfter, 7); got != 12 {
+		t.Fatalf("ArgInt = %d, want 12", got)
+	}
+}
+
+func TestSetIdempotentCounter(t *testing.T) {
+	defer Reset()
+	Reset()
+	Set(ScorerPanic, "a")
+	Set(ScorerPanic, "b") // re-arm must not double-count
+	if armed.Load() != 1 {
+		t.Fatalf("armed counter %d after double Set", armed.Load())
+	}
+	if arg, _ := Arg(ScorerPanic); arg != "b" {
+		t.Fatalf("arg %q, want latest", arg)
+	}
+}

@@ -1,0 +1,147 @@
+package ilt
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/faultinject"
+)
+
+// firstCand returns a deterministic decomposition of the test layout.
+func firstCand(t *testing.T) (decomp.Decomposition, *Optimizer) {
+	t.Helper()
+	l := twoRowLayout()
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("generate: %v (%d candidates)", err, len(cands))
+	}
+	cfg := fastConfig()
+	cfg.AbortOnViolation = false
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cands[0], opt
+}
+
+// TestRunCtxBackgroundMatchesRun: a non-cancellable context must reproduce
+// Run bit for bit (same masks, same trace, same accounting path).
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	d, opt := firstCand(t)
+	want := opt.Run(d)
+	got := opt.RunCtx(context.Background(), d)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("RunCtx(Background) differs from Run")
+	}
+	if got.Interrupted {
+		t.Fatal("uncancelled run tagged Interrupted")
+	}
+}
+
+// TestRunCtxCancelledUpFront: cancelling before the run still yields a
+// usable (initial-state) result, tagged.
+func TestRunCtxCancelledUpFront(t *testing.T) {
+	d, opt := firstCand(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := opt.RunCtx(ctx, d)
+	if !r.Interrupted {
+		t.Fatal("cancelled run not tagged Interrupted")
+	}
+	if r.M1 == nil || r.M2 == nil || r.Printed == nil {
+		t.Fatal("interrupted result lost its masks")
+	}
+	if r.Iters != 0 {
+		t.Fatalf("cancelled-up-front run performed %d iterations", r.Iters)
+	}
+}
+
+// TestRunCtxMidRunCancelKeepsBestSoFar: cancelling after a few check
+// intervals returns the best snapshot reached, not a discarded run.
+func TestRunCtxMidRunCancelKeepsBestSoFar(t *testing.T) {
+	d, opt := firstCand(t)
+	full := opt.Run(d)
+
+	// Cancel after the third Step chunk by counting context polls: the
+	// cancel is driven from the context itself so the cut point is exact.
+	ctx := &cancelAfterPolls{Context: context.Background(), allow: 3}
+	r := opt.RunCtx(ctx, d)
+	if !r.Interrupted {
+		t.Fatal("mid-run cancellation not tagged Interrupted")
+	}
+	if r.M1 == nil || r.M2 == nil || r.Printed == nil {
+		t.Fatal("interrupted result lost its masks")
+	}
+	if r.Iters <= 0 || r.Iters >= full.Iters {
+		t.Fatalf("interrupted run performed %d iterations, want partial progress below %d",
+			r.Iters, full.Iters)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("interrupted result lost its trace")
+	}
+}
+
+// cancelAfterPolls is a deterministic context: Err() starts failing after
+// `allow` calls. Done() is non-nil so RunCtx enters tracking mode.
+type cancelAfterPolls struct {
+	context.Context
+	allow int
+	polls int
+}
+
+func (c *cancelAfterPolls) Done() <-chan struct{} {
+	return make(chan struct{})
+}
+
+func (c *cancelAfterPolls) Err() error {
+	c.polls++
+	if c.polls > c.allow {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSetMaxIters: the override caps the run and 0 restores the configured
+// budget without rebuilding the optimizer.
+func TestSetMaxIters(t *testing.T) {
+	d, opt := firstCand(t)
+	opt.SetMaxIters(4)
+	if r := opt.Run(d); r.Iters != 4 {
+		t.Fatalf("capped run performed %d iterations, want 4", r.Iters)
+	}
+	opt.SetMaxIters(0)
+	want := opt.Config().MaxIters
+	if r := opt.Run(d); r.Iters != want {
+		t.Fatalf("restored run performed %d iterations, want %d", r.Iters, want)
+	}
+}
+
+// TestILTDivergeFaultTripsAbort: the armed divergence point must make an
+// abort-enabled run trip its first violation check.
+func TestILTDivergeFaultTripsAbort(t *testing.T) {
+	defer faultinject.Reset()
+	l := twoRowLayout()
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("generate: %v", err)
+	}
+	cfg := fastConfig()
+	cfg.AbortOnViolation = true
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(faultinject.ILTDiverge, "0")
+	r := opt.Run(cands[0])
+	if !r.Aborted {
+		t.Fatal("diverged run did not trip the violation check")
+	}
+	if r.AbortIter != opt.Config().CheckEvery {
+		t.Fatalf("abort at iteration %d, want the first check (%d)", r.AbortIter, opt.Config().CheckEvery)
+	}
+	if !r.Violations.Any() || r.Violations.Missing == 0 {
+		t.Fatalf("divergence should report missing patterns, got %+v", r.Violations)
+	}
+}

@@ -6,6 +6,7 @@
 package ilt
 
 import (
+	"context"
 	"fmt"
 
 	"ldmo/internal/decomp"
@@ -106,6 +107,11 @@ type Result struct {
 	// iteration at which it did.
 	Aborted   bool
 	AbortIter int
+	// Interrupted reports that cancellation or a deadline cut the run
+	// short; the result then carries the best state reached at a
+	// violation-check boundary (or the initial state when the run never
+	// reached one), not a discarded run.
+	Interrupted bool
 	// Iters is the number of gradient steps actually performed.
 	Iters int
 	// Trace records per-iteration statistics.
@@ -120,12 +126,13 @@ func (r Result) Score(alpha, beta, gamma float64) float64 {
 
 // Optimizer runs ILT for decompositions of one fixed layout.
 type Optimizer struct {
-	cfg    Config
-	layout layout.Layout
-	sim    *litho.Simulator
-	target *grid.Grid
-	cps    []epe.Checkpoint
-	clock  *simclock.Clock
+	cfg      Config
+	maxIters int // configured budget, restorable after SetMaxIters
+	layout   layout.Layout
+	sim      *litho.Simulator
+	target   *grid.Grid
+	cps      []epe.Checkpoint
+	clock    *simclock.Clock
 }
 
 // NewOptimizer builds an optimizer for the layout under the given config.
@@ -145,11 +152,12 @@ func NewOptimizer(l layout.Layout, cfg Config) (*Optimizer, error) {
 		return nil, err
 	}
 	return &Optimizer{
-		cfg:    cfg,
-		layout: l,
-		sim:    sim,
-		target: l.Rasterize(res),
-		cps:    epe.GenerateCheckpoints(l.Patterns, cfg.CheckpointSpacing),
+		cfg:      cfg,
+		maxIters: cfg.MaxIters,
+		layout:   l,
+		sim:      sim,
+		target:   l.Rasterize(res),
+		cps:      epe.GenerateCheckpoints(l.Patterns, cfg.CheckpointSpacing),
 	}, nil
 }
 
@@ -169,29 +177,82 @@ func (o *Optimizer) Config() Config { return o.cfg }
 // instead of rebuilding a second one.
 func (o *Optimizer) SetAbortOnViolation(abort bool) { o.cfg.AbortOnViolation = abort }
 
+// SetMaxIters overrides the iteration budget on the existing optimizer;
+// n <= 0 restores the configured value. The flow applies per-candidate
+// iteration budgets this way so the kernel bank is built once.
+func (o *Optimizer) SetMaxIters(n int) {
+	if n <= 0 {
+		n = o.maxIters
+	}
+	o.cfg.MaxIters = n
+}
+
 // Target returns the rasterized target image (shared; do not mutate).
 func (o *Optimizer) Target() *grid.Grid { return o.target }
 
 // Run optimizes the masks of decomposition d: gradient steps in CheckEvery
 // chunks with a print-violation snapshot between chunks (the Fig. 2 feedback
-// check). See Result for outputs. Run is a thin driver over Session.
+// check). See Result for outputs. Run is RunCtx without cancellation.
 func (o *Optimizer) Run(d decomp.Decomposition) Result {
+	return o.RunCtx(context.Background(), d)
+}
+
+// RunCtx is Run with cooperative cancellation: between violation-check
+// chunks it polls ctx, and — only when ctx is cancellable — snapshots the
+// best state seen so far at each check boundary. On cancellation or
+// deadline it returns that best-so-far snapshot tagged Interrupted instead
+// of discarding the run, so a budgeted caller always gets usable masks.
+//
+// With a non-cancellable context (Done() == nil, e.g. context.Background()),
+// RunCtx performs no extra snapshots and is step-for-step identical to the
+// historical Run, including its deterministic cost accounting.
+func (o *Optimizer) RunCtx(ctx context.Context, d decomp.Decomposition) Result {
 	s := o.NewSession(d)
+	track := ctx != nil && ctx.Done() != nil
+	var best Result
+	hasBest := false
+	// keep retains the better of two check-boundary snapshots: fewer print
+	// violations first, then lower L2.
+	keep := func(snap Result) {
+		if !hasBest ||
+			snap.Violations.Total() < best.Violations.Total() ||
+			(snap.Violations.Total() == best.Violations.Total() && snap.L2 < best.L2) {
+			best = snap
+			hasBest = true
+		}
+	}
+	interrupted := func() Result {
+		if !hasBest {
+			// Cancelled before the first check boundary: the initial (or
+			// current) state is all there is — still a usable mask pair.
+			best = s.Snapshot()
+		}
+		best.Interrupted = true
+		return best
+	}
 	for s.Remaining() > 0 {
+		if track && ctx.Err() != nil {
+			return interrupted()
+		}
 		n := o.cfg.CheckEvery
 		if r := s.Remaining(); n > r {
 			n = r
 		}
 		s.Step(n)
-		if o.cfg.AbortOnViolation && s.Remaining() > 0 {
+		if s.Remaining() > 0 && (o.cfg.AbortOnViolation || track) {
 			snap := s.Snapshot()
-			if snap.Violations.Any() {
+			if o.cfg.AbortOnViolation && snap.Violations.Any() {
 				snap.Aborted = true
 				snap.AbortIter = s.Iter()
 				return snap
 			}
+			if track {
+				keep(snap)
+			}
 		}
 	}
+	// A deadline expiring during the final chunk is moot: the run
+	// completed, so the full result is returned untagged.
 	return s.Snapshot()
 }
 

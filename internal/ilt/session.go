@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ldmo/internal/epe"
+	"ldmo/internal/faultinject"
 	"ldmo/internal/grid"
 	"ldmo/internal/litho"
 )
@@ -110,8 +111,28 @@ func (s *Session) Step(n int) int {
 				pi[j] -= s.o.cfg.StepSize * s.gradM[j] * tm * mi[j] * (1 - mi[j])
 			}
 		}
+		s.divergePoint()
 	}
 	return done
+}
+
+// divergePoint is the ilt-diverge fault injection site: when armed and the
+// run has reached the configured iteration (default 0), both mask
+// parameters are slammed deep into the sigmoid's zero tail, so nothing
+// prints and every subsequent violation check reports missing patterns.
+// Disarmed cost: one atomic load per iteration.
+func (s *Session) divergePoint() {
+	if !faultinject.Enabled(faultinject.ILTDiverge) {
+		return
+	}
+	if s.iter < faultinject.ArgInt(faultinject.ILTDiverge, 0) {
+		return
+	}
+	for i := 0; i < 2; i++ {
+		for j := range s.p[i] {
+			s.p[i][j] = -40
+		}
+	}
 }
 
 // Remaining returns the unused iteration budget.

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"ldmo/internal/nn"
+)
+
+// trainCheckpoint is the persisted training trajectory at an epoch boundary.
+// Seed and Samples key the checkpoint to its run so a stale file (different
+// dataset or config) is rejected instead of silently resuming the wrong
+// training. The network parameters — including the BatchNorm running stats,
+// which live in Params() as NoGrad entries — follow the header in the same
+// gob stream.
+type trainCheckpoint struct {
+	Seed    int64
+	Samples int
+	Epoch   int
+	History []float64
+	Adam    nn.AdamState
+}
+
+// saveTrainCheckpoint atomically persists the training state: temp file in
+// the target directory, fsync, rename. A crash mid-write leaves the previous
+// checkpoint intact.
+func saveTrainCheckpoint(path string, net *nn.Network, cp trainCheckpoint) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("model: checkpoint dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("model: checkpoint temp: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("model: write checkpoint: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(cp); err != nil {
+		return fail(err)
+	}
+	if err := net.EncodeParams(enc); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("model: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("model: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadTrainCheckpoint restores a checkpoint into net when path exists. ok is
+// false when there is nothing to resume from; a checkpoint recorded for a
+// different seed or dataset size is an error.
+func loadTrainCheckpoint(path string, net *nn.Network, seed int64, samples int) (trainCheckpoint, bool, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return trainCheckpoint{}, false, nil
+	}
+	if err != nil {
+		return trainCheckpoint{}, false, fmt.Errorf("model: read checkpoint: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var cp trainCheckpoint
+	if err := dec.Decode(&cp); err != nil {
+		return trainCheckpoint{}, false, fmt.Errorf("model: decode checkpoint: %w", err)
+	}
+	if cp.Seed != seed || cp.Samples != samples {
+		return trainCheckpoint{}, false, fmt.Errorf(
+			"model: checkpoint %s was written for seed %d over %d samples, run has seed %d over %d — stale checkpoint?",
+			path, cp.Seed, cp.Samples, seed, samples)
+	}
+	if err := net.DecodeParams(dec); err != nil {
+		return trainCheckpoint{}, false, fmt.Errorf("model: checkpoint weights: %w", err)
+	}
+	return cp, true, nil
+}

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -70,6 +71,15 @@ type TrainConfig struct {
 	UseMSE bool
 	// Log, when non-nil, receives per-epoch progress lines.
 	Log io.Writer
+	// Checkpoint, when non-empty, is a file that TrainCtx writes atomically
+	// every CheckpointEvery epochs (weights, optimizer moments, loss
+	// history) and resumes from when it already exists. Resumed training is
+	// bit-identical to an uninterrupted run: the shuffle RNG is
+	// fast-forwarded by replaying the completed epochs' permutations.
+	Checkpoint string
+	// CheckpointEvery is the epoch interval between checkpoint writes;
+	// 0 means every epoch.
+	CheckpointEvery int
 }
 
 // DefaultTrainConfig returns settings that converge on the reduced
@@ -80,8 +90,25 @@ func DefaultTrainConfig() TrainConfig {
 
 // Train fits the predictor on the dataset: labels are z-scored (the fitted
 // normalization is stored on the predictor), batches are shuffled per epoch,
-// and the mean epoch loss history is returned.
+// and the mean epoch loss history is returned. It is TrainCtx without
+// cancellation.
 func (p *Predictor) Train(ds *Dataset, tc TrainConfig) ([]float64, error) {
+	return p.TrainCtx(context.Background(), ds, tc)
+}
+
+// TrainCtx is the hardened training loop. Cancellation is observed at batch
+// granularity and returns the loss history so far together with the context
+// error; with tc.Checkpoint set, the state at the last completed checkpoint
+// interval is already on disk, and a subsequent TrainCtx call with the same
+// dataset and config resumes there — producing weights and history
+// bit-identical to an uninterrupted run (the shuffle RNG is fast-forwarded
+// deterministically, the optimizer moments and decayed learning rate travel
+// in the checkpoint, and the BatchNorm running stats ride along with the
+// weights).
+func (p *Predictor) TrainCtx(ctx context.Context, ds *Dataset, tc TrainConfig) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ds.Len() == 0 {
 		return nil, fmt.Errorf("model: empty training set")
 	}
@@ -105,8 +132,34 @@ func (p *Predictor) Train(ds *Dataset, tc TrainConfig) ([]float64, error) {
 	rng := rand.New(rand.NewSource(tc.Seed))
 	history := make([]float64, 0, tc.Epochs)
 	order := rng.Perm(ds.Len())
+	startEpoch := 0
 
-	for epoch := 0; epoch < tc.Epochs; epoch++ {
+	if tc.Checkpoint != "" {
+		cp, ok, err := loadTrainCheckpoint(tc.Checkpoint, p.Net, tc.Seed, ds.Len())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			adam.SetState(cp.Adam)
+			history = append(history, cp.History...)
+			startEpoch = cp.Epoch
+			// Fast-forward the shuffle RNG: rand.Rand is not serializable,
+			// but the order slice after N epochs is a pure function of the
+			// seed, so replaying the completed shuffles reproduces it.
+			for e := 0; e < startEpoch; e++ {
+				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			}
+			if tc.Log != nil {
+				fmt.Fprintf(tc.Log, "resuming from %s at epoch %d/%d\n", tc.Checkpoint, startEpoch, tc.Epochs)
+			}
+		}
+	}
+
+	every := tc.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	for epoch := startEpoch; epoch < tc.Epochs; epoch++ {
 		if tc.DecayAt > 0 && tc.DecayFactor > 0 && epoch == tc.DecayAt {
 			adam.LR *= tc.DecayFactor
 		}
@@ -114,6 +167,12 @@ func (p *Predictor) Train(ds *Dataset, tc TrainConfig) ([]float64, error) {
 		epochLoss := 0.0
 		batches := 0
 		for start := 0; start < len(order); start += tc.BatchSize {
+			// A cancelled epoch is abandoned wholesale — resume replays it
+			// from the last epoch-boundary checkpoint, keeping the
+			// trajectory identical.
+			if err := ctx.Err(); err != nil {
+				return history, fmt.Errorf("model: training interrupted in epoch %d: %w", epoch+1, err)
+			}
 			end := min(start+tc.BatchSize, len(order))
 			idx := order[start:end]
 			imgs := make([]*grid.Grid, len(idx))
@@ -135,6 +194,18 @@ func (p *Predictor) Train(ds *Dataset, tc TrainConfig) ([]float64, error) {
 		history = append(history, epochLoss)
 		if tc.Log != nil {
 			fmt.Fprintf(tc.Log, "epoch %3d/%d  loss %.4f\n", epoch+1, tc.Epochs, epochLoss)
+		}
+		if tc.Checkpoint != "" && ((epoch+1)%every == 0 || epoch+1 == tc.Epochs) {
+			cp := trainCheckpoint{
+				Seed:    tc.Seed,
+				Samples: ds.Len(),
+				Epoch:   epoch + 1,
+				History: append([]float64(nil), history...),
+				Adam:    adam.State(),
+			}
+			if err := saveTrainCheckpoint(tc.Checkpoint, p.Net, cp); err != nil {
+				return history, err
+			}
 		}
 	}
 	return history, nil

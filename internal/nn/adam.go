@@ -22,6 +22,44 @@ func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
 }
 
+// AdamState is the optimizer's serializable trajectory: the step counter and
+// per-parameter first/second moments, plus the (possibly decayed) learning
+// rate. Restoring it into a fresh Adam resumes training bit-identically.
+type AdamState struct {
+	LR float64
+	T  int
+	M  [][]float64
+	V  [][]float64
+}
+
+// State snapshots the optimizer. The moment buffers are deep-copied, so a
+// snapshot taken between Steps stays valid after training continues.
+func (a *Adam) State() AdamState {
+	s := AdamState{LR: a.LR, T: a.t, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		if a.m[i] != nil {
+			s.M[i] = append([]float64(nil), a.m[i]...)
+			s.V[i] = append([]float64(nil), a.v[i]...)
+		}
+	}
+	return s
+}
+
+// SetState restores a snapshot taken by State. The next Step must be called
+// with the same parameter set that produced the snapshot.
+func (a *Adam) SetState(s AdamState) {
+	a.LR = s.LR
+	a.t = s.T
+	a.m = make([][]float64, len(s.M))
+	a.v = make([][]float64, len(s.V))
+	for i := range s.M {
+		if s.M[i] != nil {
+			a.m[i] = append([]float64(nil), s.M[i]...)
+			a.v[i] = append([]float64(nil), s.V[i]...)
+		}
+	}
+}
+
 // Step applies one update to every gradient-bearing parameter. The moment
 // buffers are allocated lazily and keyed by position, so the same parameter
 // slice must be passed on every call.

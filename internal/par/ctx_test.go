@@ -1,0 +1,132 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldmo/internal/faultinject"
+)
+
+// TestMapCtxCompletesAll: an un-cancelled context behaves exactly like Map.
+func TestMapCtxCompletesAll(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 4} {
+		var counts [n]atomic.Int32
+		done, err := NewPool(workers).MapCtx(context.Background(), n, func(_, i int) {
+			counts[i].Add(1)
+		})
+		if err != nil || done != n {
+			t.Fatalf("workers=%d: done=%d err=%v, want %d nil", workers, done, err, n)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+// TestMapCtxCancelledUpFront: a dead context runs nothing and reports it.
+func TestMapCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int32{}
+		done, err := NewPool(workers).MapCtx(ctx, 50, func(_, _ int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		// Workers may claim at most a handful of items before observing
+		// cancellation; with the check before every claim, none should run.
+		if done != 0 || ran.Load() != 0 {
+			t.Fatalf("workers=%d: done=%d ran=%d, want 0", workers, done, ran.Load())
+		}
+	}
+}
+
+// TestMapCtxPrefixContract: cancelling mid-run yields a completed prefix —
+// every index below done ran exactly once, nothing at or above done ran.
+func TestMapCtxPrefixContract(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{1, 3, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var counts [n]atomic.Int32
+		var fired atomic.Bool
+		done, err := NewPool(workers).MapCtx(ctx, n, func(_, i int) {
+			counts[i].Add(1)
+			if i >= 40 && fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if done <= 0 || done >= n {
+			t.Fatalf("workers=%d: done = %d, want a strict prefix", workers, done)
+		}
+		for i := 0; i < n; i++ {
+			c := counts[i].Load()
+			switch {
+			case i < done && c != 1:
+				t.Fatalf("workers=%d: prefix index %d ran %d times", workers, i, c)
+			case i >= done && c != 0:
+				t.Fatalf("workers=%d: index %d beyond done=%d ran", workers, i, done)
+			}
+		}
+	}
+}
+
+// TestMapCtxDeadlineWithStalledWorker: the worker-stall fault point holds an
+// item long enough for a deadline to expire; the pool must stop claiming and
+// report the prefix instead of hanging.
+func TestMapCtxDeadlineWithStalledWorker(t *testing.T) {
+	defer faultinject.Reset()
+
+	// Serial path: items 0..9 run, the stall before item 10 outlives the
+	// deadline, item 10 itself still completes (claimed items are never
+	// abandoned), then the loop observes the expired context.
+	faultinject.Set(faultinject.WorkerStall, "10")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	const n = 100
+	done, err := NewPool(1).MapCtx(ctx, n, func(_, i int) {})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("serial: err = %v, want DeadlineExceeded", err)
+	}
+	if done != 11 {
+		t.Fatalf("serial: done = %d, want 11 (stalled item still completes)", done)
+	}
+
+	// Parallel path: one lane stalls on item 0 while the others burn
+	// through slow items until the deadline; the pool must return the
+	// completed prefix promptly instead of draining all n items.
+	faultinject.Set(faultinject.WorkerStall, "0")
+	pctx, pcancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer pcancel()
+	const pn = 100000
+	start := time.Now()
+	pdone, perr := NewPool(4).MapCtx(pctx, pn, func(_, i int) {
+		time.Sleep(100 * time.Microsecond)
+	})
+	if !errors.Is(perr, context.DeadlineExceeded) {
+		t.Fatalf("parallel: err = %v, want DeadlineExceeded", perr)
+	}
+	if pdone <= 0 || pdone >= pn {
+		t.Fatalf("parallel: done = %d, want a strict prefix", pdone)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("parallel: MapCtx took %v; cancellation did not stop the claim loop", elapsed)
+	}
+}
+
+// TestMapCtxNilContext: nil context degrades to Map semantics.
+func TestMapCtxNilContext(t *testing.T) {
+	done, err := NewPool(4).MapCtx(nil, 10, func(_, _ int) {})
+	if done != 10 || err != nil {
+		t.Fatalf("done=%d err=%v, want 10 nil", done, err)
+	}
+}

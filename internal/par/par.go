@@ -10,30 +10,63 @@
 // itself deterministic and independent, the result is byte-identical to the
 // serial loop `for i := 0; i < n; i++ { fn(i) }` regardless of worker count
 // or scheduling.
+//
+// MapCtx extends the contract to cancellation: workers stop claiming items
+// once the context is done, every claimed item still completes, and because
+// items are claimed in increasing order the completed set is exactly a
+// prefix [0, done) — the ordered-reduction determinism holds over it.
 package par
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ldmo/internal/faultinject"
+	"ldmo/internal/runx"
 )
 
 // EnvWorkers is the environment variable that overrides the default worker
-// count. Invalid or non-positive values are ignored.
+// count. An invalid or non-positive value falls back to GOMAXPROCS with a
+// one-time warning on stderr.
 const EnvWorkers = "LDMO_WORKERS"
+
+// warnOnce/warnWriter gate the one-time invalid-LDMO_WORKERS warning; tests
+// substitute both.
+var (
+	warnOnce   sync.Once
+	warnWriter io.Writer = os.Stderr
+)
 
 // Workers returns the default pool size: the value of LDMO_WORKERS when set
 // to a positive integer, otherwise runtime.GOMAXPROCS(0).
 func Workers() int {
-	if v := os.Getenv(EnvWorkers); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
+	return workersFrom(os.Getenv(EnvWorkers), &warnOnce)
+}
+
+// workersFrom parses an EnvWorkers value, warning (at most once per `once`)
+// when a non-empty value is unusable so a mistyped override does not
+// silently serialize or misconfigure a production run.
+func workersFrom(v string, once *sync.Once) int {
+	fallback := runtime.GOMAXPROCS(0)
+	if v == "" {
+		return fallback
 	}
-	return runtime.GOMAXPROCS(0)
+	n, err := strconv.Atoi(v)
+	if err == nil && n > 0 {
+		return n
+	}
+	once.Do(func() {
+		fmt.Fprintf(warnWriter, "par: ignoring invalid %s=%q; using GOMAXPROCS=%d\n",
+			EnvWorkers, v, fallback)
+	})
+	return fallback
 }
 
 // Pool is a bounded worker pool. The zero value is not usable; construct with
@@ -65,10 +98,31 @@ func (p *Pool) Size() int { return p.size }
 // any reduction happens in index order after Map returns.
 //
 // With one worker (or n <= 1) Map degenerates to the serial loop on the
-// calling goroutine. A panic in any fn is re-raised on the caller.
+// calling goroutine. A panic in any fn is re-raised on the caller as a
+// *runx.PanicError carrying the original panic value and the worker's stack.
 func (p *Pool) Map(n int, fn func(worker, i int)) {
+	p.mapCtx(nil, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, workers
+// stop claiming new items (items already claimed run to completion — fn is
+// never abandoned mid-flight). It returns done, the completed-prefix length:
+// every i < done has run exactly once, no i >= done has run, and the
+// caller's ordered reduction over [0, done) is byte-identical to a serial
+// loop stopped at done. err is ctx.Err() when the run was cut short, nil
+// when all n items completed.
+func (p *Pool) MapCtx(ctx context.Context, n int, fn func(worker, i int)) (done int, err error) {
+	return p.mapCtx(ctx, n, fn)
+}
+
+func (p *Pool) mapCtx(ctx context.Context, n int, fn func(worker, i int)) (int, error) {
 	if n <= 0 {
-		return
+		return 0, ctxErr(ctx)
+	}
+	// A context without a Done channel can never be cancelled; drop it so
+	// the hot loop pays nothing.
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
 	}
 	w := p.size
 	if w > n {
@@ -76,15 +130,19 @@ func (p *Pool) Map(n int, fn func(worker, i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return i, ctx.Err()
+			}
+			stallPoint(i)
 			fn(0, i)
 		}
-		return
+		return n, ctxErr(ctx)
 	}
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
 		pmu      sync.Mutex
-		panicked any
+		panicked *runx.PanicError
 	)
 	for lane := 0; lane < w; lane++ {
 		wg.Add(1)
@@ -92,25 +150,58 @@ func (p *Pool) Map(n int, fn func(worker, i int)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					pe := runx.NewPanicError(r)
 					pmu.Lock()
 					if panicked == nil {
-						panicked = r
+						panicked = pe
 					}
 					pmu.Unlock()
 				}
 			}()
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				stallPoint(i)
 				fn(lane, i)
 			}
 		}(lane)
 	}
 	wg.Wait()
 	if panicked != nil {
-		panic(fmt.Sprintf("par: worker panicked: %v", panicked))
+		panic(panicked)
+	}
+	claimed := int(next.Load())
+	if claimed > n {
+		claimed = n
+	}
+	if claimed < n {
+		return claimed, ctx.Err()
+	}
+	return n, ctxErr(ctx)
+}
+
+// ctxErr is ctx.Err() tolerant of the nil context used internally.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// stallPoint is the worker-stall fault injection site: when armed, the
+// worker about to run item Arg (default 0) sleeps long enough for a
+// cancellation or timeout to land mid-Map. Disarmed cost: one atomic load.
+func stallPoint(i int) {
+	if !faultinject.Enabled(faultinject.WorkerStall) {
+		return
+	}
+	if i == faultinject.ArgInt(faultinject.WorkerStall, 0) {
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 

@@ -1,11 +1,16 @@
 package par
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+
+	"ldmo/internal/runx"
 )
 
 func TestWorkersDefault(t *testing.T) {
@@ -113,8 +118,21 @@ func TestMapPanicPropagates(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected panic to propagate")
 		}
-		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
-			t.Fatalf("panic payload %v lost the cause", r)
+		// The re-raised panic must preserve both the original payload and
+		// the panicking worker's stack (the old fmt.Sprintf re-raise
+		// destroyed both).
+		pe, ok := r.(*runx.PanicError)
+		if !ok {
+			t.Fatalf("panic payload %T is not a *runx.PanicError", r)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("original panic value lost: %v", pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "par_test") {
+			t.Fatalf("worker stack lost:\n%s", pe.Stack)
+		}
+		if !strings.Contains(fmt.Sprint(pe), "boom") {
+			t.Fatalf("panic message %v hides the cause", pe)
 		}
 	}()
 	NewPool(4).Map(16, func(_, i int) {
@@ -122,6 +140,44 @@ func TestMapPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// TestWorkersInvalidWarnsOnce checks that a bad LDMO_WORKERS value is
+// reported (naming the value and the fallback) exactly once per process.
+func TestWorkersInvalidWarnsOnce(t *testing.T) {
+	var buf bytes.Buffer
+	old := warnWriter
+	warnWriter = &buf
+	defer func() { warnWriter = old }()
+
+	var once sync.Once
+	want := runtime.GOMAXPROCS(0)
+	for i := 0; i < 3; i++ {
+		if got := workersFrom("three", &once); got != want {
+			t.Fatalf("workersFrom(invalid) = %d, want fallback %d", got, want)
+		}
+	}
+	out := buf.String()
+	if strings.Count(out, "ignoring invalid") != 1 {
+		t.Fatalf("want exactly one warning, got:\n%s", out)
+	}
+	if !strings.Contains(out, `"three"`) || !strings.Contains(out, EnvWorkers) ||
+		!strings.Contains(out, fmt.Sprintf("GOMAXPROCS=%d", want)) {
+		t.Fatalf("warning must name the bad value and the fallback, got:\n%s", out)
+	}
+
+	// Valid and empty values never warn.
+	buf.Reset()
+	var once2 sync.Once
+	if got := workersFrom("6", &once2); got != 6 {
+		t.Fatalf("workersFrom(6) = %d", got)
+	}
+	if got := workersFrom("", &once2); got != want {
+		t.Fatalf("workersFrom(empty) = %d, want %d", got, want)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected warning: %s", buf.String())
+	}
 }
 
 func TestMapSerialFastPathPanic(t *testing.T) {

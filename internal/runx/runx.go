@@ -1,0 +1,119 @@
+// Package runx is the framework's runtime-hardening layer: budgets
+// (cancellation, wall-clock deadlines, deterministic iteration limits) and
+// panic-recovery boundaries that convert crashes in the numeric substrates
+// (nn, litho, tensor, fft) into typed errors a long-running service can log
+// and degrade around instead of dying.
+//
+// The design splits responsibilities: Budget describes *how much* a run may
+// consume, the context derived from it carries the cancellation signal, and
+// Recover fences *where* a panic stops propagating. Packages below runx
+// (par, ilt, core) consume these; nothing in runx knows about the flow.
+package runx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// PanicError is a panic converted into an error at a Recover boundary (or by
+// par's worker pool). Value is the original panic payload, preserved so
+// callers can still inspect it; Stack is the stack of the goroutine that
+// panicked, captured at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error. The worker stack is not included — log e.Stack
+// explicitly where the full trace is wanted.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// NewPanicError captures the current goroutine's stack around a recovered
+// panic value. If v already is a *PanicError (a re-raised worker panic), it
+// is returned unchanged so the original stack survives nested boundaries.
+func NewPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// AsPanic unwraps err to a *PanicError when one is in its chain.
+func AsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// Recover runs fn and converts a panic into a *PanicError return. Errors
+// returned by fn pass through unchanged. This is the boundary the flow wraps
+// around scorer inference and other crash-prone numeric calls.
+func Recover(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPanicError(r)
+		}
+	}()
+	return fn()
+}
+
+// Interrupted reports whether err stems from cancellation or a deadline —
+// the two "stop now, keep what you have" conditions a budgeted run handles
+// by returning partial state instead of failing.
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Budget bounds a run. The zero value is "unlimited": no deadline, no
+// per-candidate limits. Wall limits are inherently nondeterministic (they
+// depend on the machine); CandidateIters is the deterministic knob and the
+// one tests rely on.
+type Budget struct {
+	// Wall bounds the total wall-clock time of the run; 0 means unlimited.
+	Wall time.Duration
+	// CandidateWall bounds each candidate attempt inside the run; 0 means
+	// unlimited. An attempt that exceeds it is abandoned (its best state is
+	// kept) and the run falls through to the next candidate.
+	CandidateWall time.Duration
+	// CandidateIters caps gradient iterations per candidate attempt; 0
+	// keeps the optimizer's configured budget. A candidate that spends the
+	// cap without reaching a violation-free print falls through to the next
+	// candidate.
+	CandidateIters int
+}
+
+// Unlimited reports whether the budget imposes no limit at all.
+func (b Budget) Unlimited() bool {
+	return b.Wall <= 0 && b.CandidateWall <= 0 && b.CandidateIters <= 0
+}
+
+// Apply derives the run context: ctx plus the total wall deadline when one
+// is set. The returned cancel must be called to release the timer. When no
+// wall limit is set, ctx is returned unchanged with a no-op cancel so that
+// an unlimited budget adds no Done channel (and hence no snapshot overhead)
+// to a background run.
+func (b Budget) Apply(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if b.Wall > 0 {
+		return context.WithTimeout(ctx, b.Wall)
+	}
+	return ctx, func() {}
+}
+
+// Candidate derives the per-attempt context from the run context.
+func (b Budget) Candidate(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if b.CandidateWall > 0 {
+		return context.WithTimeout(ctx, b.CandidateWall)
+	}
+	return ctx, func() {}
+}

@@ -1,0 +1,108 @@
+package runx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecoverPassesThrough(t *testing.T) {
+	if err := Recover(func() error { return nil }); err != nil {
+		t.Fatalf("Recover of clean fn returned %v", err)
+	}
+	want := errors.New("plain failure")
+	if err := Recover(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("Recover rewrote a plain error: %v", err)
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	err := Recover(func() error { panic("boom at site") })
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+	pe, ok := AsPanic(err)
+	if !ok {
+		t.Fatalf("error %T is not a PanicError", err)
+	}
+	if pe.Value != "boom at site" {
+		t.Fatalf("panic value %v lost", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "runx_test") {
+		t.Fatalf("stack does not mention the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "boom at site") {
+		t.Fatalf("Error() %q hides the cause", err.Error())
+	}
+}
+
+func TestNewPanicErrorIdempotent(t *testing.T) {
+	inner := &PanicError{Value: "original", Stack: []byte("worker stack")}
+	err := Recover(func() error { panic(inner) })
+	pe, ok := AsPanic(err)
+	if !ok || pe != inner {
+		t.Fatalf("re-raised PanicError was re-wrapped: %v", err)
+	}
+}
+
+func TestAsPanicWrapped(t *testing.T) {
+	pe := &PanicError{Value: 42}
+	wrapped := fmt.Errorf("flow: scorer failed: %w", pe)
+	got, ok := AsPanic(wrapped)
+	if !ok || got != pe {
+		t.Fatalf("AsPanic failed to unwrap: %v %v", got, ok)
+	}
+	if _, ok := AsPanic(errors.New("not a panic")); ok {
+		t.Fatal("AsPanic matched a non-panic error")
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	if !Interrupted(context.Canceled) || !Interrupted(context.DeadlineExceeded) {
+		t.Fatal("context errors must read as interrupted")
+	}
+	if !Interrupted(fmt.Errorf("run stopped: %w", context.Canceled)) {
+		t.Fatal("wrapped cancellation must read as interrupted")
+	}
+	if Interrupted(errors.New("disk full")) || Interrupted(nil) {
+		t.Fatal("non-cancellation errors must not read as interrupted")
+	}
+}
+
+func TestBudgetApplyUnlimited(t *testing.T) {
+	var b Budget
+	if !b.Unlimited() {
+		t.Fatal("zero Budget must be unlimited")
+	}
+	ctx, cancel := b.Apply(context.Background())
+	defer cancel()
+	if ctx.Done() != nil {
+		t.Fatal("unlimited budget must not add a Done channel")
+	}
+	cctx, ccancel := b.Candidate(ctx)
+	defer ccancel()
+	if cctx.Done() != nil {
+		t.Fatal("unlimited candidate budget must not add a Done channel")
+	}
+}
+
+func TestBudgetApplyWall(t *testing.T) {
+	b := Budget{Wall: time.Hour}
+	ctx, cancel := b.Apply(nil)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("wall budget must set a deadline")
+	}
+	if until := time.Until(dl); until <= 0 || until > time.Hour {
+		t.Fatalf("deadline %v out of range", until)
+	}
+	cctx, ccancel := (Budget{CandidateWall: time.Minute}).Candidate(ctx)
+	defer ccancel()
+	if cdl, ok := cctx.Deadline(); !ok || cdl.After(dl) {
+		t.Fatalf("candidate deadline %v must tighten the run deadline %v", cdl, dl)
+	}
+}

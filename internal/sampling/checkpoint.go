@@ -1,0 +1,103 @@
+package sampling
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"ldmo/internal/grid"
+)
+
+// shard is the persisted labeling result of one layout: everything
+// BuildDataset needs to stitch the layout into the dataset without re-running
+// ILT. Shards are keyed by layout index and carry the layout name so a stale
+// checkpoint directory (different pool or config) is rejected instead of
+// silently corrupting the dataset.
+type shard struct {
+	Layout string
+	Index  int
+	Imgs   []*grid.Grid
+	Scores []float64
+}
+
+// shardPath returns the shard file for layout index i.
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard_%05d.gob", i))
+}
+
+// writeShard persists a labeled layout atomically: encode into a temp file
+// in the same directory, fsync, then rename over the final name. A crash or
+// cancellation can therefore never leave a half-written shard behind.
+func writeShard(dir string, s shard) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sampling: checkpoint dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, "shard_*.tmp")
+	if err != nil {
+		return fmt.Errorf("sampling: checkpoint temp: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sampling: write shard %d: %w", s.Index, err)
+	}
+	if err := gob.NewEncoder(f).Encode(s); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sampling: write shard %d: %w", s.Index, err)
+	}
+	if err := os.Rename(tmp, shardPath(dir, s.Index)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sampling: commit shard %d: %w", s.Index, err)
+	}
+	return nil
+}
+
+// readShard loads the shard of layout index i when present. ok is false when
+// the shard does not exist; a shard recorded for a different layout name is
+// an error (the checkpoint directory belongs to another run).
+func readShard(dir string, i int, layoutName string) (shard, bool, error) {
+	f, err := os.Open(shardPath(dir, i))
+	if errors.Is(err, fs.ErrNotExist) {
+		return shard{}, false, nil
+	}
+	if err != nil {
+		return shard{}, false, fmt.Errorf("sampling: read shard %d: %w", i, err)
+	}
+	defer f.Close()
+	var s shard
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		return shard{}, false, fmt.Errorf("sampling: decode shard %d: %w", i, err)
+	}
+	if s.Index != i || s.Layout != layoutName {
+		return shard{}, false, fmt.Errorf(
+			"sampling: shard %d belongs to layout %q at index %d, expected %q — stale checkpoint dir?",
+			i, s.Layout, s.Index, layoutName)
+	}
+	if len(s.Imgs) != len(s.Scores) {
+		return shard{}, false, fmt.Errorf("sampling: shard %d is inconsistent (%d images, %d scores)",
+			i, len(s.Imgs), len(s.Scores))
+	}
+	return s, true, nil
+}
+
+// CheckpointShards reports how many of the n layout shards exist in dir —
+// the resume progress a caller can surface to the operator.
+func CheckpointShards(dir string, n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if _, err := os.Stat(shardPath(dir, i)); err == nil {
+			count++
+		}
+	}
+	return count
+}

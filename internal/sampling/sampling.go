@@ -7,13 +7,16 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"ldmo/internal/cluster"
 	"ldmo/internal/decomp"
+	"ldmo/internal/faultinject"
 	"ldmo/internal/grid"
 	"ldmo/internal/ilt"
 	"ldmo/internal/layout"
@@ -57,6 +60,13 @@ type Config struct {
 	// per in-flight layout); 0 selects par.Workers(), 1 forces the serial
 	// loop. The dataset is bit-identical at any worker count.
 	Workers int
+	// Checkpoint, when non-empty, is a directory where BuildDataset
+	// persists one shard per labeled layout (written atomically) and from
+	// which a later run over the same layout list resumes, skipping
+	// already-labeled layouts. Because per-layout labeling is
+	// deterministic and independent, a resumed dataset is bit-identical
+	// to an uninterrupted build.
+	Checkpoint string
 }
 
 // DefaultConfig returns a CPU-scale pipeline: the paper's thresholds with
@@ -169,28 +179,55 @@ func Label(opt *ilt.Optimizer, d decomp.Decomposition, w model.ScoreWeights) flo
 
 // BuildDataset labels every sampled decomposition of every layout and
 // returns the dataset plus the per-layout sample-index groups (used for
-// ranking metrics). Progress lines go to log when non-nil.
-//
-// Layouts are labeled in parallel across cfg.Workers lanes — every in-flight
-// layout owns its optimizer (and hence its simulator), exactly as the serial
-// loop did — and the per-layout results are stitched into the dataset in
-// layout order, so the dataset is byte-identical to the serial build.
+// ranking metrics). Progress lines go to log when non-nil. It is
+// BuildDatasetCtx without cancellation.
 func BuildDataset(layouts []layout.Layout, cfg Config, log io.Writer) (*model.Dataset, [][]int, error) {
+	return BuildDatasetCtx(context.Background(), layouts, cfg, log)
+}
+
+// BuildDatasetCtx is the hardened labeling pipeline. Layouts are labeled in
+// parallel across cfg.Workers lanes — every in-flight layout owns its
+// optimizer (and hence its simulator), exactly as the serial loop did — and
+// the per-layout results are stitched into the dataset in layout order, so
+// the dataset is byte-identical to the serial build at any worker count.
+//
+// When cfg.Checkpoint is set, each labeled layout is persisted as an atomic
+// shard the moment it completes and already-persisted shards are loaded
+// instead of re-labeled, so a cancelled build loses at most the layouts that
+// were in flight. On cancellation the context error is returned (the shards
+// remain on disk); a resumed call with the same layouts and config produces
+// a dataset bit-identical to an uninterrupted build.
+func BuildDatasetCtx(ctx context.Context, layouts []layout.Layout, cfg Config, log io.Writer) (*model.Dataset, [][]int, error) {
 	type labeled struct {
 		imgs   []*grid.Grid
 		scores []float64
 		err    error
 	}
+	ctx, cancel := context.WithCancel(orBackground(ctx))
+	defer cancel()
+	var persisted atomic.Int64
+	results := make([]labeled, len(layouts))
 	pool := par.NewPool(cfg.Workers)
-	results := par.MapSlice(pool, len(layouts), func(_, li int) labeled {
+	_, cerr := pool.MapCtx(ctx, len(layouts), func(_, li int) {
 		l := layouts[li]
+		if cfg.Checkpoint != "" {
+			if s, ok, err := readShard(cfg.Checkpoint, li, l.Name); err != nil {
+				results[li] = labeled{err: err}
+				return
+			} else if ok {
+				results[li] = labeled{imgs: s.Imgs, scores: s.Scores}
+				return
+			}
+		}
 		cands, err := SampleDecompositions(l, cfg)
 		if err != nil {
-			return labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
+			results[li] = labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
+			return
 		}
 		opt, err := ilt.NewOptimizer(l, cfg.ILT)
 		if err != nil {
-			return labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
+			results[li] = labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
+			return
 		}
 		out := labeled{
 			imgs:   make([]*grid.Grid, len(cands)),
@@ -200,8 +237,24 @@ func BuildDataset(layouts []layout.Layout, cfg Config, log io.Writer) (*model.Da
 			out.scores[i] = Label(opt, d, cfg.Weights)
 			out.imgs[i] = d.GrayImage(cfg.Res, cfg.ImageSize)
 		}
-		return out
+		if cfg.Checkpoint != "" {
+			s := shard{Layout: l.Name, Index: li, Imgs: out.imgs, Scores: out.scores}
+			if err := writeShard(cfg.Checkpoint, s); err != nil {
+				results[li] = labeled{err: err}
+				return
+			}
+			// Deterministic interrupt for the resume tests: cancel our own
+			// context once enough shards landed.
+			if n := faultinject.ArgInt(faultinject.CancelAfter, -1); n >= 0 &&
+				persisted.Add(1) >= int64(n) {
+				cancel()
+			}
+		}
+		results[li] = out
 	})
+	if cerr != nil {
+		return nil, nil, fmt.Errorf("sampling: labeling interrupted: %w", cerr)
+	}
 	ds := &model.Dataset{}
 	var groups [][]int
 	for li, r := range results {
@@ -223,6 +276,14 @@ func BuildDataset(layouts []layout.Layout, cfg Config, log io.Writer) (*model.Da
 		}
 	}
 	return ds, groups, nil
+}
+
+// orBackground tolerates a nil context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // BuildRandomDataset is the Fig. 8 baseline: layouts drawn uniformly from

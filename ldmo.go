@@ -41,6 +41,7 @@ import (
 	"ldmo/internal/layout"
 	"ldmo/internal/litho"
 	"ldmo/internal/model"
+	"ldmo/internal/runx"
 	"ldmo/internal/sampling"
 	"ldmo/internal/simclock"
 )
@@ -83,6 +84,9 @@ type (
 	SamplingConfig = sampling.Config
 	// FlowConfig configures the Fig. 2 LDMO flow.
 	FlowConfig = core.Config
+	// Budget bounds a flow run: total wall clock, per-candidate wall clock,
+	// and per-candidate ILT iterations (FlowConfig.Budget; zero = unlimited).
+	Budget = runx.Budget
 	// Flow is the deep-learning-driven LDMO engine.
 	Flow = core.Flow
 	// FlowResult is one flow outcome.

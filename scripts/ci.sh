@@ -8,5 +8,5 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test ./...
-go test -race ./internal/litho ./internal/fft ./internal/core ./internal/par
+go test -timeout 300s ./...
+go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject
