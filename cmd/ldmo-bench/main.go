@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"syscall"
 
+	"ldmo/internal/artifact"
 	"ldmo/internal/experiments"
 	"ldmo/internal/model"
 	"ldmo/internal/runx"
@@ -66,6 +67,9 @@ func main() {
 	if *modelPath != "" {
 		pred, err := model.Load(*modelPath)
 		if err != nil {
+			if artifact.Rejected(err) {
+				fatalf("load model: %v\n  the file is damaged or from an incompatible build — re-export it with ldmo-train", err)
+			}
 			fatalf("load model: %v", err)
 		}
 		opt.Predictor = pred

@@ -13,11 +13,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 
+	"ldmo/internal/artifact"
 	"ldmo/internal/gds"
 	"ldmo/internal/layout"
 )
@@ -60,15 +62,12 @@ func main() {
 	}
 
 	if *gdsPath != "" {
-		f, err := os.Create(*gdsPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		if err := gds.Write(f, set); err != nil {
+		// Atomic write: an interrupt or disk-full mid-export leaves either
+		// the previous library or nothing, never a truncated stream.
+		if err := artifact.AtomicWrite(*gdsPath, func(w io.Writer) error {
+			return gds.Write(w, set)
+		}); err != nil {
 			fatalf("write gds: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %d layouts to %s\n", len(set), *gdsPath)
 		if *outDir == "" {

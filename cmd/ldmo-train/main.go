@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"syscall"
 
+	"ldmo/internal/artifact"
 	"ldmo/internal/layout"
 	"ldmo/internal/model"
 	"ldmo/internal/runx"
@@ -74,6 +75,12 @@ func main() {
 		}
 		if *resume && *random {
 			fatalf("-resume is not supported with -random (the baseline labels unsharded)")
+		}
+		if *resume {
+			if reason := model.CheckpointStatus(trainCkpt); reason != "" {
+				fmt.Fprintf(os.Stderr, "ldmo-train: warning: training checkpoint %s is not resumable (%s); training will start from epoch 0\n",
+					trainCkpt, reason)
+			}
 		}
 	} else if *resume {
 		fatalf("-resume requires -checkpoint DIR")
@@ -163,7 +170,7 @@ func checkpointExists(shardDir, trainCkpt string) bool {
 }
 
 // exitInterruptible distinguishes a cancellation (state saved, resumable)
-// from a genuine failure.
+// from numerical divergence and from a genuine failure.
 func exitInterruptible(stage string, err error, ckptDir string) {
 	if runx.Interrupted(err) {
 		if ckptDir != "" {
@@ -173,6 +180,13 @@ func exitInterruptible(stage string, err error, ckptDir string) {
 			fmt.Fprintf(os.Stderr, "ldmo-train: %s interrupted (no -checkpoint, progress lost)\n", stage)
 		}
 		os.Exit(130)
+	}
+	if ne, ok := runx.AsNumerical(err); ok {
+		fmt.Fprintf(os.Stderr, "ldmo-train: %s diverged: %v — try a lower -lr or a different -seed\n", stage, ne)
+		os.Exit(2)
+	}
+	if artifact.Rejected(err) {
+		fatalf("%s: %v\n  the artifact is damaged or from an incompatible build; remove it (or the -checkpoint dir) and rerun", stage, err)
 	}
 	fatalf("%s: %v", stage, err)
 }

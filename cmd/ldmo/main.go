@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"ldmo"
+	"ldmo/internal/artifact"
 	"ldmo/internal/core"
 	"ldmo/internal/gds"
 	"ldmo/internal/layout"
@@ -75,6 +76,9 @@ func main() {
 	if *modelPath != "" {
 		pred, err := model.Load(*modelPath)
 		if err != nil {
+			if artifact.Rejected(err) {
+				fatalf("load model: %v\n  the file is damaged or from an incompatible build — re-export it with ldmo-train", err)
+			}
 			fatalf("load model: %v", err)
 		}
 		scorer = pred
@@ -161,7 +165,7 @@ func loadLayoutFile(path string) (ldmo.Layout, error) {
 	if strings.HasSuffix(strings.ToLower(path), ".gds") {
 		layouts, err := gds.Read(f)
 		if err != nil {
-			return ldmo.Layout{}, err
+			return ldmo.Layout{}, fmt.Errorf("%s: %w", path, err)
 		}
 		if len(layouts) == 0 {
 			return ldmo.Layout{}, fmt.Errorf("%s contains no structures", path)

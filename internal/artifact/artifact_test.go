@@ -1,0 +1,176 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldmo/internal/faultinject"
+)
+
+const (
+	testKind    = "test-blob"
+	testVersion = 3
+)
+
+func sealFile(t *testing.T, name string, payload []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := WriteFile(path, testKind, testVersion, payload); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox\x00\x01\x02")
+	path := sealFile(t, "a.bin", payload)
+	got, err := ReadFile(path, testKind, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload did not round-trip: %q", got)
+	}
+	// Identical payloads seal to identical bytes (the artifact contract).
+	other := sealFile(t, "b.bin", payload)
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(other)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("identical payloads sealed to different bytes")
+	}
+}
+
+func TestWriteFileLeavesNoLitter(t *testing.T) {
+	path := sealFile(t, "a.bin", []byte("x"))
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "a.bin" {
+		t.Fatalf("unexpected dir contents: %v", entries)
+	}
+}
+
+func TestMissingFileIsNotExist(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope.bin"), testKind, testVersion)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file returned %v, want fs.ErrNotExist in chain", err)
+	}
+	if Rejected(err) {
+		t.Fatal("a missing file must not count as a rejected artifact")
+	}
+}
+
+// TestCorruptionClasses flips or chops every region of the envelope and
+// demands the matching typed error with the path in the message.
+func TestCorruptionClasses(t *testing.T) {
+	payload := []byte("payload payload payload")
+	cases := []struct {
+		name     string
+		mutate   func(b []byte) []byte
+		sentinel error
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrCorrupt},
+		{"payload bitflip", func(b []byte) []byte { b[len(b)-3] ^= 0x10; return b }, ErrCorrupt},
+		{"crc bitflip", func(b []byte) []byte { b[len(b)-len(payload)-1] ^= 0x01; return b }, ErrCorrupt},
+		{"truncated header", func(b []byte) []byte { return b[:5] }, ErrCorrupt},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-4] }, ErrCorrupt},
+		{"empty file", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"envelope version skew", func(b []byte) []byte { b[5] ^= 0x07; return b }, ErrVersionMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := sealFile(t, "v.bin", payload)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = ReadFile(path, testKind, testVersion)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("got %v, want %v", err, tc.sentinel)
+			}
+			if !Rejected(err) {
+				t.Fatalf("Rejected(%v) = false", err)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error does not name the file: %v", err)
+			}
+		})
+	}
+}
+
+func TestWrongKindAndPayloadVersion(t *testing.T) {
+	path := sealFile(t, "k.bin", []byte("data"))
+	if _, err := ReadFile(path, "other-kind", testVersion); !errors.Is(err, ErrWrongKind) {
+		t.Fatalf("wrong kind returned %v", err)
+	}
+	if _, err := ReadFile(path, testKind, testVersion+1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("payload version skew returned %v", err)
+	}
+	// The error must say what was found and what was expected.
+	_, err := ReadFile(path, "other-kind", testVersion)
+	if !strings.Contains(err.Error(), testKind) || !strings.Contains(err.Error(), "other-kind") {
+		t.Fatalf("wrong-kind error lacks expected/found kinds: %v", err)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	path := sealFile(t, "q.bin", []byte("data"))
+	q, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != path+QuarantineSuffix {
+		t.Fatalf("quarantine path %q", q)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("original file still present after quarantine")
+	}
+	if _, err := os.Stat(q); err != nil {
+		t.Fatal("quarantined file missing")
+	}
+}
+
+// TestFaultBitflip: the armed point corrupts exactly one matching read, on
+// disk, then disarms.
+func TestFaultBitflip(t *testing.T) {
+	defer faultinject.Reset()
+	path := sealFile(t, "shard_00001.bin", []byte("shard bytes"))
+	clean := sealFile(t, "shard_00002.bin", []byte("other bytes"))
+
+	faultinject.Set(faultinject.ArtifactBitflip, "shard_00001")
+	if _, err := ReadFile(clean, testKind, testVersion); err != nil {
+		t.Fatalf("non-matching file was corrupted: %v", err)
+	}
+	if _, err := ReadFile(path, testKind, testVersion); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bitflipped read returned %v, want ErrCorrupt", err)
+	}
+	// The corruption is at rest: a second read of the same bytes fails too,
+	// and the point has disarmed.
+	if faultinject.Enabled(faultinject.ArtifactBitflip) {
+		t.Fatal("bitflip point still armed after firing")
+	}
+	if _, err := ReadFile(path, testKind, testVersion); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("re-read of corrupted file returned %v", err)
+	}
+}
+
+func TestFaultTruncate(t *testing.T) {
+	defer faultinject.Reset()
+	path := sealFile(t, "t.bin", bytes.Repeat([]byte("abcd"), 64))
+	faultinject.Set(faultinject.ArtifactTruncate, "")
+	if _, err := ReadFile(path, testKind, testVersion); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated read returned %v, want ErrCorrupt", err)
+	}
+	if faultinject.Enabled(faultinject.ArtifactTruncate) {
+		t.Fatal("truncate point still armed after firing")
+	}
+}

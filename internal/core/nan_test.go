@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ldmo/internal/faultinject"
+)
+
+// TestPersistentILTNaNDegradesThroughLadder: with every candidate poisoned by
+// a sticky NaN source, each one exhausts its rollback budget and falls
+// through like a tripped violation check, and the flow still returns a
+// finite, usable forced result instead of an error or poisoned masks.
+func TestPersistentILTNaNDegradesThroughLadder(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.ILTNaN, "-1") // every iteration, every candidate
+	f := NewFlow(nil, fastConfig())
+	nc := candidateCount(t, f)
+	res, err := f.RunContext(context.Background(), twoRowLayout())
+	if err != nil {
+		t.Fatalf("persistent NaN escaped the degradation ladder: %v", err)
+	}
+	if res.Attempts != nc {
+		t.Fatalf("attempts = %d, want every candidate (%d) to numerically fault and fall through",
+			res.Attempts, nc)
+	}
+	if !res.Forced {
+		t.Fatal("all-faulted candidates must force the best-effort rerun")
+	}
+	if !res.ILT.NumericalFault {
+		t.Fatal("forced rerun under a sticky NaN source must carry the NumericalFault tag")
+	}
+	if res.ILT.M1 == nil || res.ILT.Printed == nil {
+		t.Fatal("faulted forced result lost its masks")
+	}
+	for _, g := range []struct {
+		name string
+		data []float64
+	}{{"M1", res.ILT.M1.Data}, {"M2", res.ILT.M2.Data}, {"Printed", res.ILT.Printed.Data}} {
+		for _, v := range g.data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("forced result %s leaked non-finite values", g.name)
+			}
+		}
+	}
+	if math.IsNaN(res.ILT.L2) || math.IsInf(res.ILT.L2, 0) {
+		t.Fatalf("forced result carries non-finite L2 %v", res.ILT.L2)
+	}
+}
+
+// TestTransientILTNaNRecoversInsideFlow: a NaN that recovers inside the
+// optimizer (rollback, halved step) must leave the flow with a clean,
+// untagged result. The recovered candidate's trajectory legitimately differs
+// from a fault-free run — what matters is that nothing degrades or errors.
+func TestTransientILTNaNRecoversInsideFlow(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.ILTNaN, "2") // one transient fault in the first candidate
+	res, err := NewFlow(nil, fastConfig()).Run(twoRowLayout())
+	if err != nil {
+		t.Fatalf("transient NaN escaped recovery: %v", err)
+	}
+	if res.ILT.NumericalFault {
+		t.Fatal("recovered run mis-tagged NumericalFault")
+	}
+	if faultinject.Enabled(faultinject.ILTNaN) {
+		t.Fatal("one-shot point still armed after firing")
+	}
+	if res.ILT.M1 == nil || math.IsNaN(res.ILT.L2) {
+		t.Fatal("recovered flow result unusable")
+	}
+}

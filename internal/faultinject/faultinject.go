@@ -37,6 +37,23 @@ const (
 	// CancelAfter makes checkpointing pipelines cancel their own context
 	// after arg completed units, for deterministic interrupt/resume tests.
 	CancelAfter = "cancel-after"
+	// ArtifactBitflip inverts one payload byte of the next sealed artifact
+	// whose base name contains arg (empty matches any), in place on disk,
+	// then disarms itself — simulating at-rest bit rot on exactly one read.
+	ArtifactBitflip = "artifact-bitflip"
+	// ArtifactTruncate cuts the next matching sealed artifact to half its
+	// length before it is read, then disarms itself — a torn write that
+	// somehow survived the atomic-rename protocol.
+	ArtifactTruncate = "artifact-truncate"
+	// ILTNaN poisons the ILT mask parameters with NaN at iteration arg.
+	// A non-negative arg fires once at iteration >= arg and disarms, so the
+	// optimizer's rollback recovers and the run completes; a negative arg
+	// fires at every iteration >= -arg and stays armed, exhausting the
+	// bounded retries so the candidate fails cleanly.
+	ILTNaN = "ilt-nan"
+	// TrainNaN poisons the training loss with NaN at batch arg, with the
+	// same one-shot (arg >= 0) / sticky (arg < 0) convention as ILTNaN.
+	TrainNaN = "train-nan"
 )
 
 var (
@@ -111,6 +128,31 @@ func Arg(point string) (string, bool) {
 	defer mu.Unlock()
 	arg, ok := points[point]
 	return arg, ok
+}
+
+// FireAt implements the one-shot/sticky convention of the NaN points for a
+// monotonically increasing step counter: a non-negative argument (default 0)
+// fires once at step >= arg and disarms the point, so recovery logic gets a
+// single transient fault to roll back from; a negative argument fires at
+// every step >= -arg and stays armed, a persistent fault that must exhaust
+// the bounded retries. Disarmed cost: one atomic load.
+func FireAt(point string, step int) bool {
+	arg, ok := Arg(point)
+	if !ok {
+		return false
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil {
+		n = 0
+	}
+	if n >= 0 {
+		if step >= n {
+			Clear(point)
+			return true
+		}
+		return false
+	}
+	return step >= -n
 }
 
 // ArgInt returns the point's argument as an int: def when the point is

@@ -1,0 +1,198 @@
+package gds
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"ldmo/internal/layout"
+)
+
+// validStream returns the serialized cell library — the seed every mutation
+// below starts from.
+func validStream(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, layout.Cells()[:3]); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadGDS throws mutated streams at the reader. The property under test
+// is total robustness: Read must return a layout list or a descriptive error
+// — never panic, never hang — and anything it accepts must re-serialize.
+func FuzzReadGDS(f *testing.F) {
+	valid := validStream(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x06, 0x00, 0x02, 0x02, 0x58}) // lone HEADER v600
+	// Truncations at every small prefix and at record-ish boundaries.
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 10, len(valid) / 2, len(valid) - 4, len(valid) - 1} {
+		if n >= 0 && n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Dropped ENDLIB.
+	f.Add(valid[:len(valid)-4])
+	// A record that declares a length below its own 4-byte header.
+	short := append([]byte(nil), valid...)
+	short[0], short[1] = 0, 3
+	f.Add(short)
+	zero := append([]byte(nil), valid...)
+	zero[0], zero[1] = 0, 0
+	f.Add(zero)
+	// An XY payload cut to a non-multiple of 8 coordinate bytes.
+	if i := bytes.Index(valid, []byte{0x10, 0x03}); i >= 2 {
+		odd := append([]byte(nil), valid...)
+		odd[i-2], odd[i-1] = 0, 4+12 // 12 payload bytes: not a whole point pair
+		f.Add(odd)
+	}
+	// Version skew in the HEADER payload.
+	skew := append([]byte(nil), valid...)
+	skew[4], skew[5] = 0xFF, 0xFF
+	f.Add(skew)
+	// Wrong leading record (a BGNLIB where the HEADER belongs).
+	f.Add(append([]byte{0x00, 0x04, 0x01, 0x02}, valid...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		layouts, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "gds: ") {
+				t.Fatalf("error without package context: %v", err)
+			}
+			return
+		}
+		// Accepted input must be re-serializable (unnamed structures are the
+		// one thing Read tolerates that Write refuses).
+		for _, l := range layouts {
+			if l.Name == "" {
+				return
+			}
+		}
+		if err := Write(io.Discard, layouts); err != nil {
+			t.Fatalf("accepted layouts do not re-serialize: %v", err)
+		}
+	})
+}
+
+// TestReadCorruptionClasses pins a descriptive, typed rejection to every
+// corruption class on the GDS artifact: bit-flipped record length,
+// truncation, version skew, and a wrong leading record kind.
+func TestReadCorruptionClasses(t *testing.T) {
+	valid := validStream(t)
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"length-bitflip-below-header", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0], c[1] = 0, 2 // HEADER claims 2 bytes total
+			return c
+		}, "below the 4-byte header"},
+		{"truncated-mid-record", func(b []byte) []byte {
+			i := bytes.Index(b, []byte{0x10, 0x03})
+			if i < 2 {
+				t.Fatal("no XY record in the seed stream")
+			}
+			return b[:i+2+8] // stream ends inside the XY payload
+		}, "truncated record 0x1003"},
+		{"truncated-mid-header", func(b []byte) []byte {
+			return b[:len(b)-7] // leave a partial 4-byte record header
+		}, "truncated record header"},
+		{"missing-endlib", func(b []byte) []byte {
+			return b[:len(b)-4]
+		}, "missing ENDLIB"},
+		{"version-skew", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4], c[5] = 0x27, 0x0F // HEADER version 9999
+			return c
+		}, "unsupported GDSII stream version 9999"},
+		{"wrong-first-record", func(b []byte) []byte {
+			return append([]byte{0x00, 0x04, 0x01, 0x02}, b...)
+		}, "not a GDSII stream"},
+		{"empty-stream", func(b []byte) []byte {
+			return nil
+		}, "reading header"},
+		{"short-units", func(b []byte) []byte {
+			// Rewrite the UNITS record (type 0x0305) to carry 8 bytes only.
+			i := bytes.Index(b, []byte{0x03, 0x05})
+			if i < 2 {
+				t.Fatal("no UNITS record in the seed stream")
+			}
+			c := append([]byte(nil), b[:i-2]...)
+			c = append(c, 0x00, 0x0C, 0x03, 0x05)
+			c = append(c, make([]byte, 8)...)
+			return append(c, b[i+2+16:]...)
+		}, "UNITS record carries 8 bytes"},
+		{"zero-database-unit", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			i := bytes.Index(c, []byte{0x03, 0x05})
+			if i < 2 {
+				t.Fatal("no UNITS record in the seed stream")
+			}
+			for j := 0; j < 8; j++ { // zero the meters-per-dbu real
+				c[i+2+8+j] = 0
+			}
+			return c
+		}, "invalid database unit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader(tc.mutate(valid)))
+			if err == nil {
+				t.Fatal("corrupted stream accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestReadMisalignedXY: an XY record whose payload is not a whole number of
+// coordinate pairs must be rejected by name, not rounded down.
+func TestReadMisalignedXY(t *testing.T) {
+	valid := validStream(t)
+	i := bytes.Index(valid, []byte{0x10, 0x03})
+	if i < 2 {
+		t.Fatal("no XY record in the seed stream")
+	}
+	// Shrink the record to 12 payload bytes (1.5 points) and splice the
+	// stream back together after the original 40-byte payload.
+	c := append([]byte(nil), valid[:i-2]...)
+	c = append(c, 0x00, 4+12, 0x10, 0x03)
+	c = append(c, valid[i+2:i+2+12]...)
+	c = append(c, valid[i+2+40:]...)
+	_, err := Read(bytes.NewReader(c))
+	if err == nil || !strings.Contains(err.Error(), "malformed XY") {
+		t.Fatalf("misaligned XY returned %v, want a malformed-XY error", err)
+	}
+}
+
+// TestReadUnterminatedStructure: ENDLIB arriving inside an open structure is
+// a torn stream, not a valid library.
+func TestReadUnterminatedStructure(t *testing.T) {
+	var buf bytes.Buffer
+	for _, rec := range []struct {
+		typ     uint16
+		payload []byte
+	}{
+		{recHeader, int16Payload(600)},
+		{recBgnLib, int16Payload(make([]int16, 12)...)},
+		{recLibName, asciiPayload("LDMO")},
+		{recBgnStr, int16Payload(make([]int16, 12)...)},
+		{recStrName, asciiPayload("torn")},
+		{recEndLib, nil},
+	} {
+		if err := writeRecord(&buf, rec.typ, rec.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := Read(&buf)
+	if err == nil || !strings.Contains(err.Error(), "unterminated structure") {
+		t.Fatalf("unterminated structure returned %v", err)
+	}
+}

@@ -214,29 +214,57 @@ type record struct {
 func readRecord(r io.Reader) (record, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return record{}, err
+		if err == io.EOF {
+			// A clean end-of-stream; Read turns this into "missing ENDLIB".
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("gds: truncated record header: %w", err)
 	}
 	total := int(binary.BigEndian.Uint16(hdr[0:]))
 	typ := binary.BigEndian.Uint16(hdr[2:])
 	if total < 4 {
-		return record{}, fmt.Errorf("gds: record length %d too short", total)
+		// A length below the 4 header bytes cannot advance the stream; a
+		// naive reader loops forever here on a flipped length byte.
+		return record{}, fmt.Errorf("gds: record 0x%04x declares length %d, below the 4-byte header", typ, total)
 	}
 	data := make([]byte, total-4)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return record{}, fmt.Errorf("gds: truncated record 0x%04x: %w", typ, err)
+	if n, err := io.ReadFull(r, data); err != nil {
+		return record{}, fmt.Errorf("gds: truncated record 0x%04x (%d of %d payload bytes): %w", typ, n, total-4, err)
 	}
 	return record{typ: typ, data: data}, nil
 }
 
+// knownStreamVersions are the GDSII stream format versions this reader
+// understands. The on-wire subset is identical across them; anything else is
+// either a future format or a corrupted header, and both are rejected rather
+// than guessed at.
+func knownStreamVersion(v uint16) bool {
+	switch v {
+	case 0, 3, 4, 5, 6, 7, 600, 605:
+		return true
+	}
+	return false
+}
+
 // Read parses a GDSII library written by Write (or any library restricted to
 // the supported subset: BOUNDARY elements with rectangular 5-point loops).
+// Malformed input — truncation anywhere, impossible record lengths, version
+// skew, misaligned coordinate payloads, a missing ENDLIB — returns a
+// descriptive error naming the offending record; Read never panics or loops
+// on hostile bytes.
 func Read(r io.Reader) ([]layout.Layout, error) {
 	first, err := readRecord(r)
 	if err != nil {
 		return nil, fmt.Errorf("gds: reading header: %w", err)
 	}
 	if first.typ != recHeader {
-		return nil, fmt.Errorf("gds: not a GDSII stream (first record 0x%04x)", first.typ)
+		return nil, fmt.Errorf("gds: not a GDSII stream (first record 0x%04x, want HEADER)", first.typ)
+	}
+	if len(first.data) < 2 {
+		return nil, fmt.Errorf("gds: HEADER record carries %d bytes, want a 2-byte version", len(first.data))
+	}
+	if v := binary.BigEndian.Uint16(first.data); !knownStreamVersion(v) {
+		return nil, fmt.Errorf("gds: unsupported GDSII stream version %d", v)
 	}
 	var layouts []layout.Layout
 	var cur *layout.Layout
@@ -252,12 +280,22 @@ func Read(r io.Reader) ([]layout.Layout, error) {
 		}
 		switch rec.typ {
 		case recEndLib:
+			if cur != nil {
+				return nil, fmt.Errorf("gds: ENDLIB inside unterminated structure %q", cur.Name)
+			}
 			return layouts, nil
 		case recUnits:
-			if len(rec.data) >= 16 {
-				meters := parseReal8(rec.data[8:16])
-				scale = meters / 1e-9
+			if len(rec.data) < 16 {
+				return nil, fmt.Errorf("gds: UNITS record carries %d bytes, want two 8-byte reals", len(rec.data))
 			}
+			meters := parseReal8(rec.data[8:16])
+			// A database unit outside (0, 1mm] is not a unit any layout tool
+			// emits — it is a rotted UNITS record. Bounding it also keeps the
+			// scaled int32 coordinates safely inside the int range.
+			if math.IsNaN(meters) || meters <= 0 || meters > 1e-3 {
+				return nil, fmt.Errorf("gds: invalid database unit %v m", meters)
+			}
+			scale = meters / 1e-9
 		case recBgnStr:
 			layouts = append(layouts, layout.Layout{})
 			cur = &layouts[len(layouts)-1]

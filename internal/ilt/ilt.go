@@ -112,6 +112,13 @@ type Result struct {
 	// violation-check boundary (or the initial state when the run never
 	// reached one), not a discarded run.
 	Interrupted bool
+	// NumericalFault reports that the run produced NaN/Inf in its loss or
+	// gradient and the bounded rollback-and-halve recovery was exhausted;
+	// the result carries the last finite state and is also tagged Aborted,
+	// so the flow falls through to the next candidate. NaNRecoveries counts
+	// the rollbacks that did succeed (non-zero on a run that recovered).
+	NumericalFault bool
+	NaNRecoveries  int
 	// Iters is the number of gradient steps actually performed.
 	Iters int
 	// Trace records per-iteration statistics.
@@ -239,6 +246,22 @@ func (o *Optimizer) RunCtx(ctx context.Context, d decomp.Decomposition) Result {
 			n = r
 		}
 		s.Step(n)
+		if s.Faulted() {
+			// NaN/Inf escaped into the loss or gradient. Roll back to the
+			// last violation-check snapshot with a halved step and retry;
+			// once the bounded retries are spent, fail the candidate
+			// cleanly: Aborted sends the flow to its next candidate, and
+			// the returned masks are the last finite state.
+			if s.recover() {
+				continue
+			}
+			snap := s.Snapshot()
+			snap.Aborted = true
+			snap.NumericalFault = true
+			snap.AbortIter = s.Iter()
+			return snap
+		}
+		s.markGood()
 		if s.Remaining() > 0 && (o.cfg.AbortOnViolation || track) {
 			snap := s.Snapshot()
 			if o.cfg.AbortOnViolation && snap.Violations.Any() {

@@ -34,7 +34,23 @@ type Session struct {
 	gradM    []float64
 
 	trace []IterStat
+
+	// NaN-resilience state: snapP holds the mask parameters at the last
+	// violation-check boundary (markGood); a non-finite loss or gradient
+	// latches fault and halts stepping until restoreGood rolls the session
+	// back. stepScale shrinks on every rollback, bounding the retried
+	// trajectory away from the divergence.
+	snapP        [2][]float64
+	snapIter     int
+	snapTraceLen int
+	stepScale    float64
+	nanRetries   int
+	fault        bool
 }
+
+// maxNaNRetries bounds rollback-and-halve recovery attempts per run; a run
+// still non-finite after this many is declared divergent and fails cleanly.
+const maxNaNRetries = 3
 
 // NewSession initializes optimizer state for decomposition d.
 func (o *Optimizer) NewSession(d interface {
@@ -43,12 +59,13 @@ func (o *Optimizer) NewSession(d interface {
 	n := o.sim.W * o.sim.H
 	m1g, m2g := d.Masks(o.cfg.Litho.Resolution)
 	s := &Session{
-		o:        o,
-		composed: grid.NewLike(o.target),
-		sat:      make([]bool, n),
-		gradT:    make([]float64, n),
-		gradI:    make([]float64, n),
-		gradM:    make([]float64, n),
+		o:         o,
+		composed:  grid.NewLike(o.target),
+		sat:       make([]bool, n),
+		gradT:     make([]float64, n),
+		gradI:     make([]float64, n),
+		gradM:     make([]float64, n),
+		stepScale: 1,
 	}
 	masks := [2][]float64{m1g.Data, m2g.Data}
 	for i := 0; i < 2; i++ {
@@ -62,6 +79,7 @@ func (o *Optimizer) NewSession(d interface {
 			clamped[j] = math.Min(math.Max(v, o.cfg.InitClip), 1-o.cfg.InitClip)
 		}
 		litho.MaskSigmoidInverse(o.cfg.Litho.ThetaM, clamped, s.p[i])
+		s.snapP[i] = append([]float64(nil), s.p[i]...)
 	}
 	return s
 }
@@ -85,12 +103,22 @@ func (s *Session) forward(withFields bool) {
 
 // Step performs n gradient iterations (not exceeding the configured budget)
 // and appends to the trace. It returns the iterations actually performed.
+// A non-finite loss or gradient latches the fault flag and halts stepping
+// immediately — before the poisoned update can reach the mask parameters'
+// snapshot — leaving recovery (rollback with a halved step) to the caller.
 func (s *Session) Step(n int) int {
 	done := 0
-	for ; done < n && s.iter < s.o.cfg.MaxIters; done++ {
+	for ; done < n && s.iter < s.o.cfg.MaxIters && !s.fault; done++ {
 		s.forward(true)
 		s.iter++
 		l2 := s.composed.L2Diff(s.o.target)
+		if faultinject.FireAt(faultinject.ILTNaN, s.iter) {
+			l2 = math.NaN()
+		}
+		if math.IsNaN(l2) || math.IsInf(l2, 0) {
+			s.fault = true
+			break
+		}
 		em := s.o.cfg.Meter.Measure(s.composed, s.o.cps)
 		s.trace = append(s.trace, IterStat{Iter: s.iter, L2: l2, EPEViolations: em.Violations})
 
@@ -104,16 +132,68 @@ func (s *Session) Step(n int) int {
 		for i := 0; i < 2; i++ {
 			s.o.sim.ResistBackward(s.gradT, s.resist[i], s.gradI)
 			s.o.sim.AerialBackward(s.gradI, s.fields[i], s.gradM)
+			if !finiteSlice(s.gradM) {
+				s.fault = true
+				break
+			}
 			tm := s.o.cfg.Litho.ThetaM
 			pi := s.p[i]
 			mi := s.m[i]
 			for j := range pi {
-				pi[j] -= s.o.cfg.StepSize * s.gradM[j] * tm * mi[j] * (1 - mi[j])
+				pi[j] -= s.o.cfg.StepSize * s.stepScale * s.gradM[j] * tm * mi[j] * (1 - mi[j])
 			}
 		}
 		s.divergePoint()
 	}
 	return done
+}
+
+// finiteSlice reports whether xs is free of NaN/Inf.
+func finiteSlice(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Faulted reports whether the session hit a non-finite loss or gradient and
+// is halted pending a rollback.
+func (s *Session) Faulted() bool { return s.fault }
+
+// markGood records the current mask parameters as the rollback target; the
+// optimizer calls it at every violation-check boundary that passed finite.
+func (s *Session) markGood() {
+	for i := 0; i < 2; i++ {
+		copy(s.snapP[i], s.p[i])
+	}
+	s.snapIter = s.iter
+	s.snapTraceLen = len(s.trace)
+}
+
+// restoreGood rewinds the session to the last markGood state — parameters,
+// iteration counter and trace — clearing the fault latch.
+func (s *Session) restoreGood() {
+	for i := 0; i < 2; i++ {
+		copy(s.p[i], s.snapP[i])
+	}
+	s.iter = s.snapIter
+	s.trace = s.trace[:s.snapTraceLen]
+	s.fault = false
+}
+
+// recover attempts one bounded rollback: restore the last good state and
+// halve the effective step size. It returns false once the retry budget is
+// spent (the state is still restored, so a final Snapshot is finite).
+func (s *Session) recover() bool {
+	s.restoreGood()
+	if s.nanRetries >= maxNaNRetries {
+		return false
+	}
+	s.nanRetries++
+	s.stepScale /= 2
+	return true
 }
 
 // divergePoint is the ilt-diverge fault injection site: when armed and the
@@ -142,7 +222,7 @@ func (s *Session) Remaining() int { return s.o.cfg.MaxIters - s.iter }
 // full printability measurement without advancing the iteration counter.
 func (s *Session) Snapshot() Result {
 	s.forward(false)
-	res := Result{Iters: s.iter, Trace: append([]IterStat(nil), s.trace...)}
+	res := Result{Iters: s.iter, NaNRecoveries: s.nanRetries, Trace: append([]IterStat(nil), s.trace...)}
 	res.L2 = s.composed.L2Diff(s.o.target)
 	res.EPE = s.o.cfg.Meter.Measure(s.composed, s.o.cps)
 	res.Violations = epe.CheckPrintViolations(s.composed, s.o.layout.Patterns, s.o.cfg.Litho.PrintThreshold)

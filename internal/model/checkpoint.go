@@ -1,14 +1,29 @@
 package model
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
-	"path/filepath"
 
+	"ldmo/internal/artifact"
 	"ldmo/internal/nn"
+)
+
+// Sealed-envelope identity of a training checkpoint. The schema version is
+// bumped whenever trainCheckpoint or the nn parameter wire format changes
+// incompatibly; older files are then rejected with ErrVersionMismatch
+// instead of being misdecoded.
+const (
+	trainCheckpointKind    = "train-checkpoint"
+	trainCheckpointVersion = 1
+	// prevSuffix names the retained previous-epoch checkpoint. Keeping the
+	// last two means a corrupt (or torn, on non-atomic filesystems) latest
+	// checkpoint costs one checkpoint interval of work, not the whole run.
+	prevSuffix = ".prev"
 )
 
 // trainCheckpoint is the persisted training trajectory at an epoch boundary.
@@ -25,61 +40,78 @@ type trainCheckpoint struct {
 	Adam    nn.AdamState
 }
 
-// saveTrainCheckpoint atomically persists the training state: temp file in
-// the target directory, fsync, rename. A crash mid-write leaves the previous
-// checkpoint intact.
+// saveTrainCheckpoint persists the training state inside a sealed artifact
+// envelope, atomically, demoting the existing checkpoint to path+".prev"
+// first. A crash mid-write leaves the previous checkpoint intact; identical
+// state always produces identical file bytes (gob type IDs are pinned at
+// init via artifact.StabilizeGob).
 func saveTrainCheckpoint(path string, net *nn.Network, cp trainCheckpoint) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("model: checkpoint dir: %w", err)
-	}
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("model: checkpoint temp: %w", err)
-	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("model: write checkpoint: %w", err)
-	}
-	enc := gob.NewEncoder(f)
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
 	if err := enc.Encode(cp); err != nil {
-		return fail(err)
+		return fmt.Errorf("model: encode checkpoint: %w", err)
 	}
 	if err := net.EncodeParams(enc); err != nil {
-		return fail(err)
+		return fmt.Errorf("model: encode checkpoint weights: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+prevSuffix); err != nil {
+			return fmt.Errorf("model: rotate checkpoint: %w", err)
+		}
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+	if err := artifact.WriteFile(path, trainCheckpointKind, trainCheckpointVersion, buf.Bytes()); err != nil {
 		return fmt.Errorf("model: write checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("model: commit checkpoint: %w", err)
 	}
 	return nil
 }
 
-// loadTrainCheckpoint restores a checkpoint into net when path exists. ok is
-// false when there is nothing to resume from; a checkpoint recorded for a
-// different seed or dataset size is an error.
-func loadTrainCheckpoint(path string, net *nn.Network, seed int64, samples int) (trainCheckpoint, bool, error) {
-	f, err := os.Open(path)
+// loadTrainCheckpoint restores a checkpoint into net, trying path first and
+// the retained path+".prev" second. ok is false when there is nothing to
+// resume from. A rejected envelope (bit flip, truncation, version skew,
+// wrong kind) is quarantined to *.quarantined with a log line saying exactly
+// what was discarded and why, and the previous checkpoint takes over; a
+// checkpoint recorded for a different seed or dataset size is a hard error
+// (it belongs to another run — recovery would train the wrong model).
+func loadTrainCheckpoint(path string, net *nn.Network, seed int64, samples int, log io.Writer) (trainCheckpoint, bool, error) {
+	for _, p := range []string{path, path + prevSuffix} {
+		cp, ok, err := loadSealedCheckpoint(p, net, seed, samples)
+		if err == nil {
+			if ok {
+				return cp, true, nil
+			}
+			continue // absent; fall through to the previous checkpoint
+		}
+		if artifact.Rejected(err) {
+			q, qerr := artifact.Quarantine(p)
+			if qerr != nil {
+				return trainCheckpoint{}, false, fmt.Errorf("model: checkpoint %s rejected (%v) and not quarantinable: %w", p, err, qerr)
+			}
+			if log != nil {
+				fmt.Fprintf(log, "model: discarding checkpoint %s (%v); quarantined to %s\n", p, err, q)
+			}
+			continue
+		}
+		return trainCheckpoint{}, false, err
+	}
+	return trainCheckpoint{}, false, nil
+}
+
+// loadSealedCheckpoint unseals and decodes one checkpoint file. ok is false
+// when the file does not exist.
+func loadSealedCheckpoint(path string, net *nn.Network, seed int64, samples int) (trainCheckpoint, bool, error) {
+	payload, err := artifact.ReadFile(path, trainCheckpointKind, trainCheckpointVersion)
 	if errors.Is(err, fs.ErrNotExist) {
 		return trainCheckpoint{}, false, nil
 	}
 	if err != nil {
-		return trainCheckpoint{}, false, fmt.Errorf("model: read checkpoint: %w", err)
+		return trainCheckpoint{}, false, err
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
+	dec := gob.NewDecoder(bytes.NewReader(payload))
 	var cp trainCheckpoint
 	if err := dec.Decode(&cp); err != nil {
-		return trainCheckpoint{}, false, fmt.Errorf("model: decode checkpoint: %w", err)
+		// The envelope checksum passed, so this is schema drift the version
+		// field failed to capture — reject it as corrupt so it quarantines.
+		return trainCheckpoint{}, false, fmt.Errorf("model: checkpoint %s undecodable (%v): %w", path, err, artifact.ErrCorrupt)
 	}
 	if cp.Seed != seed || cp.Samples != samples {
 		return trainCheckpoint{}, false, fmt.Errorf(
@@ -87,7 +119,27 @@ func loadTrainCheckpoint(path string, net *nn.Network, seed int64, samples int) 
 			path, cp.Seed, cp.Samples, seed, samples)
 	}
 	if err := net.DecodeParams(dec); err != nil {
-		return trainCheckpoint{}, false, fmt.Errorf("model: checkpoint weights: %w", err)
+		return trainCheckpoint{}, false, fmt.Errorf("model: checkpoint %s weights undecodable (%v): %w", path, err, artifact.ErrCorrupt)
 	}
 	return cp, true, nil
+}
+
+// CheckpointStatus classifies what a resume would find at path, for CLIs
+// that want to warn before silently starting from scratch: "" when a
+// resumable checkpoint (or its retained predecessor) is present, otherwise a
+// short human-readable reason ("absent", "empty", "unreadable: ...").
+func CheckpointStatus(path string) string {
+	reason := "absent"
+	for _, p := range []string{path, path + prevSuffix} {
+		fi, err := os.Stat(p)
+		switch {
+		case err == nil && fi.Size() > 0:
+			return ""
+		case err == nil:
+			reason = "empty"
+		case !errors.Is(err, fs.ErrNotExist):
+			reason = fmt.Sprintf("unreadable: %v", err)
+		}
+	}
+	return reason
 }

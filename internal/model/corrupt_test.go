@@ -1,0 +1,262 @@
+package model
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldmo/internal/artifact"
+	"ldmo/internal/faultinject"
+)
+
+// TestTrainCheckpointFileBytesIdentical: identical training state must seal
+// to identical checkpoint files — not just decode-equal payloads. The gob
+// type IDs are pinned at init (artifact.StabilizeGob), so the bytes are a
+// pure function of the state regardless of what else the process encoded
+// first. An interrupted-and-resumed run therefore finishes with checkpoint
+// files byte-for-byte equal to an uninterrupted run's.
+func TestTrainCheckpointFileBytesIdentical(t *testing.T) {
+	ds := syntheticDataset(24, 3)
+	dir := t.TempDir()
+
+	cleanCkpt := filepath.Join(dir, "clean.ckpt")
+	clean, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.TrainCtx(context.Background(), ds, trainCfg(cleanCkpt)); err != nil {
+		t.Fatal(err)
+	}
+
+	resCkpt := filepath.Join(dir, "resumed.ckpt")
+	interrupted, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &batchPollCtx{Context: context.Background(), allow: 2*3 + 1}
+	if _, err := interrupted.TrainCtx(ctx, ds, trainCfg(resCkpt)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted training returned %v, want Canceled", err)
+	}
+	resumed, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.TrainCtx(context.Background(), ds, trainCfg(resCkpt)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, suffix := range []string{"", prevSuffix} {
+		want, err := os.ReadFile(cleanCkpt + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(resCkpt + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("checkpoint%s file bytes differ between clean and resumed runs", suffix)
+		}
+	}
+}
+
+// seedCheckpointPair trains long enough to leave both the latest checkpoint
+// and its retained predecessor on disk, returning the checkpoint path and the
+// reference weights of a full uninterrupted run.
+func seedCheckpointPair(t *testing.T, ds *Dataset, dir string) (string, []byte) {
+	t.Helper()
+	clean, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.TrainCtx(context.Background(), ds, trainCfg("")); err != nil {
+		t.Fatal(err)
+	}
+	want := weightsOf(t, clean)
+
+	ckpt := filepath.Join(dir, "train.ckpt")
+	partial, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := trainCfg(ckpt)
+	tc.Epochs = 3 // checkpoints at 1..3, so .prev holds epoch 2
+	if _, err := partial.TrainCtx(context.Background(), ds, tc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt + prevSuffix); err != nil {
+		t.Fatalf("previous checkpoint not retained: %v", err)
+	}
+	return ckpt, want
+}
+
+// resumeFull resumes training over the (possibly damaged) checkpoint at ckpt
+// for the full schedule and returns the final weights and the log.
+func resumeFull(t *testing.T, ds *Dataset, ckpt string) ([]byte, string) {
+	t.Helper()
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	tc := trainCfg(ckpt)
+	tc.Log = &log
+	if _, err := p.TrainCtx(context.Background(), ds, tc); err != nil {
+		t.Fatalf("resume over damaged checkpoint failed: %v\nlog:\n%s", err, log.String())
+	}
+	return weightsOf(t, p), log.String()
+}
+
+// TestTrainCheckpointBitflipFallsBackToPrev: a bit-flipped latest checkpoint
+// must be quarantined with a log line naming the file and the reason, the
+// retained previous checkpoint must take over, and the resumed run must still
+// finish bit-identical to an uninterrupted one.
+func TestTrainCheckpointBitflipFallsBackToPrev(t *testing.T) {
+	defer faultinject.Reset()
+	ds := syntheticDataset(24, 3)
+	ckpt, want := seedCheckpointPair(t, ds, t.TempDir())
+
+	// One-shot: fires on the first matching read (the latest checkpoint),
+	// disarms, and the .prev read goes through clean.
+	faultinject.Set(faultinject.ArtifactBitflip, "train.ckpt")
+	got, log := resumeFull(t, ds, ckpt)
+
+	if !strings.Contains(log, "discarding checkpoint "+ckpt) || !strings.Contains(log, "quarantined to") {
+		t.Fatalf("quarantine not reported:\n%s", log)
+	}
+	if !strings.Contains(log, "resuming from "+ckpt+" at epoch 2/") {
+		t.Fatalf("did not resume from the epoch-2 previous checkpoint:\n%s", log)
+	}
+	if _, err := os.Stat(ckpt + artifact.QuarantineSuffix); err != nil {
+		t.Fatalf("corrupt checkpoint not quarantined: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback resume diverged from the uninterrupted run")
+	}
+}
+
+// TestTrainCheckpointTruncateFallsBackToPrev: same ladder for a torn write
+// surviving on disk — the truncated latest checkpoint is quarantined and the
+// previous one takes over.
+func TestTrainCheckpointTruncateFallsBackToPrev(t *testing.T) {
+	defer faultinject.Reset()
+	ds := syntheticDataset(24, 3)
+	ckpt, want := seedCheckpointPair(t, ds, t.TempDir())
+
+	faultinject.Set(faultinject.ArtifactTruncate, "train.ckpt")
+	got, log := resumeFull(t, ds, ckpt)
+
+	if !strings.Contains(log, "discarding checkpoint "+ckpt) {
+		t.Fatalf("quarantine not reported:\n%s", log)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback resume diverged from the uninterrupted run")
+	}
+}
+
+// TestTrainCheckpointBothCorruptStartsFresh: when the latest checkpoint AND
+// its retained predecessor are both rotten, training must quarantine both,
+// say so, and start from scratch — finishing identical to a clean run rather
+// than dying or resuming poisoned state.
+func TestTrainCheckpointBothCorruptStartsFresh(t *testing.T) {
+	ds := syntheticDataset(24, 3)
+	ckpt, want := seedCheckpointPair(t, ds, t.TempDir())
+
+	for _, p := range []string{ckpt, ckpt + prevSuffix} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-1] ^= 0xFF
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, log := resumeFull(t, ds, ckpt)
+	if !strings.Contains(log, "discarding checkpoint "+ckpt+" (") ||
+		!strings.Contains(log, "discarding checkpoint "+ckpt+prevSuffix) {
+		t.Fatalf("expected both checkpoints discarded:\n%s", log)
+	}
+	if strings.Contains(log, "resuming from") {
+		t.Fatalf("resumed from a corrupt checkpoint:\n%s", log)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fresh restart diverged from the clean run")
+	}
+}
+
+// TestTrainCheckpointVersionSkewQuarantined: a checkpoint sealed under a
+// different payload schema version must be rejected as a version mismatch and
+// quarantined, not misdecoded.
+func TestTrainCheckpointVersionSkewQuarantined(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	if err := artifact.WriteFile(ckpt, trainCheckpointKind, trainCheckpointVersion+1, []byte("future payload")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	cp, ok, err := loadTrainCheckpoint(ckpt, p.Net, 7, 24, &log)
+	if err != nil || ok {
+		t.Fatalf("skewed checkpoint: got (%+v, %v, %v), want quiet fresh start", cp, ok, err)
+	}
+	if !strings.Contains(log.String(), "version") {
+		t.Fatalf("discard reason does not mention the version: %s", log.String())
+	}
+	if _, err := os.Stat(ckpt + artifact.QuarantineSuffix); err != nil {
+		t.Fatalf("skewed checkpoint not quarantined: %v", err)
+	}
+}
+
+// TestTrainCheckpointWrongKindQuarantined: an envelope of a different payload
+// kind at the checkpoint path (a dataset shard copied over it, say) must be
+// rejected and quarantined the same way.
+func TestTrainCheckpointWrongKindQuarantined(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	if err := artifact.WriteFile(ckpt, "dataset-shard", trainCheckpointVersion, []byte("not a checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	cp, ok, err := loadTrainCheckpoint(ckpt, p.Net, 7, 24, &log)
+	if err != nil || ok {
+		t.Fatalf("wrong-kind checkpoint: got (%+v, %v, %v), want quiet fresh start", cp, ok, err)
+	}
+	if !strings.Contains(log.String(), "kind") {
+		t.Fatalf("discard reason does not mention the kind: %s", log.String())
+	}
+	if _, err := os.Stat(ckpt + artifact.QuarantineSuffix); err != nil {
+		t.Fatalf("wrong-kind checkpoint not quarantined: %v", err)
+	}
+}
+
+// TestCheckpointStatus covers the CLI warning classifier.
+func TestCheckpointStatus(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "train.ckpt")
+	if got := CheckpointStatus(ckpt); got != "absent" {
+		t.Fatalf("missing checkpoint status = %q, want absent", got)
+	}
+	if err := os.WriteFile(ckpt, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := CheckpointStatus(ckpt); got != "empty" {
+		t.Fatalf("empty checkpoint status = %q, want empty", got)
+	}
+	if err := os.WriteFile(ckpt, []byte("something"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := CheckpointStatus(ckpt); got != "" {
+		t.Fatalf("present checkpoint status = %q, want resumable", got)
+	}
+}

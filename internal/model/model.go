@@ -11,13 +11,14 @@
 package model
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
-	"os"
 
+	"ldmo/internal/artifact"
 	"ldmo/internal/grid"
 	"ldmo/internal/nn"
 	"ldmo/internal/par"
@@ -286,17 +287,28 @@ func (p *Predictor) predictSharded(imgs []*grid.Grid, pool *par.Pool, nets []*nn
 	return scores
 }
 
-// Save writes architecture, normalization and weights to path.
+// Sealed-envelope identity of an exported predictor file.
+const (
+	predictorKind    = "predictor"
+	predictorVersion = 1
+)
+
+// Persisted model types claim their gob type IDs at init, in a fixed order
+// (after nn's, which this package imports), so sealed payload bytes are a
+// pure function of the encoded state.
+func init() {
+	artifact.StabilizeGob(Config{}, ScoreNorm{}, trainCheckpoint{})
+}
+
+// Save writes architecture, normalization and weights to path inside a
+// sealed artifact envelope, atomically. Load verifies the envelope, so a
+// truncated or bit-rotted model file is reported instead of misdecoded.
 func (p *Predictor) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := p.Write(f); err != nil {
-		return err
-	}
-	return f.Sync()
+	return artifact.WriteFile(path, predictorKind, predictorVersion, buf.Bytes())
 }
 
 // Write streams the predictor to w.
@@ -311,14 +323,15 @@ func (p *Predictor) Write(w io.Writer) error {
 	return p.Net.EncodeParams(enc)
 }
 
-// Load reads a predictor previously written by Save.
+// Load reads a predictor previously written by Save, verifying the sealed
+// envelope: corruption, version skew, and wrong-kind files surface as the
+// typed artifact errors.
 func Load(path string) (*Predictor, error) {
-	f, err := os.Open(path)
+	payload, err := artifact.ReadFile(path, predictorKind, predictorVersion)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	return Read(bytes.NewReader(payload))
 }
 
 // Read streams a predictor from r.

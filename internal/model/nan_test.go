@@ -1,0 +1,92 @@
+package model
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"ldmo/internal/faultinject"
+	"ldmo/internal/runx"
+)
+
+// TestTrainCtxTransientNaNRecovers: a single poisoned batch must be rolled
+// back (weights, Adam moments and BatchNorm running stats) and retried with a
+// halved learning rate, after which training completes the full schedule with
+// finite weights.
+func TestTrainCtxTransientNaNRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	ds := syntheticDataset(16, 5)
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(faultinject.TrainNaN, "2") // fire once at the third batch
+	var log strings.Builder
+	tc := trainCfg("")
+	tc.Epochs = 2
+	tc.Log = &log
+	hist, err := p.TrainCtx(context.Background(), ds, tc)
+	if err != nil {
+		t.Fatalf("transient NaN escaped recovery: %v", err)
+	}
+	if len(hist) != tc.Epochs {
+		t.Fatalf("recovered run produced %d epochs of history, want %d", len(hist), tc.Epochs)
+	}
+	for i, l := range hist {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("epoch %d loss is non-finite: %v", i+1, l)
+		}
+	}
+	if !strings.Contains(log.String(), "rolled back, LR halved") {
+		t.Fatalf("recovery did not report itself:\n%s", log.String())
+	}
+	if faultinject.Enabled(faultinject.TrainNaN) {
+		t.Fatal("one-shot point still armed after firing")
+	}
+	for _, prm := range p.Net.Params() {
+		for _, v := range prm.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("recovered predictor carries non-finite weights")
+			}
+		}
+	}
+}
+
+// TestTrainCtxPersistentNaNFailsTyped: a batch that stays non-finite through
+// every rollback must surface as a typed numerical error naming the epoch and
+// batch — not a panic, hang, or silently poisoned history.
+func TestTrainCtxPersistentNaNFailsTyped(t *testing.T) {
+	defer faultinject.Reset()
+	ds := syntheticDataset(16, 5)
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(faultinject.TrainNaN, "-1") // sticky: every batch from the second
+	hist, err := p.TrainCtx(context.Background(), ds, trainCfg(""))
+	if err == nil {
+		t.Fatal("persistent NaN did not fail training")
+	}
+	ne, ok := runx.AsNumerical(err)
+	if !ok {
+		t.Fatalf("error %v is not a NumericalError", err)
+	}
+	if !strings.Contains(ne.Detail, "epoch 1 batch 2") || !strings.Contains(ne.Detail, "rollbacks") {
+		t.Fatalf("numerical error lost its context: %v", ne)
+	}
+	for _, l := range hist {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatal("returned history contains non-finite loss")
+		}
+	}
+	// The rollbacks restored the pre-batch state, so the weights stay finite
+	// even though training failed.
+	for _, prm := range p.Net.Params() {
+		for _, v := range prm.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("failed run leaked non-finite weights")
+			}
+		}
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
+	"ldmo/internal/faultinject"
 	"ldmo/internal/grid"
 	"ldmo/internal/nn"
+	"ldmo/internal/runx"
 	"ldmo/internal/tensor"
 )
 
@@ -135,7 +138,7 @@ func (p *Predictor) TrainCtx(ctx context.Context, ds *Dataset, tc TrainConfig) (
 	startEpoch := 0
 
 	if tc.Checkpoint != "" {
-		cp, ok, err := loadTrainCheckpoint(tc.Checkpoint, p.Net, tc.Seed, ds.Len())
+		cp, ok, err := loadTrainCheckpoint(tc.Checkpoint, p.Net, tc.Seed, ds.Len(), tc.Log)
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +162,14 @@ func (p *Predictor) TrainCtx(ctx context.Context, ds *Dataset, tc TrainConfig) (
 	if every <= 0 {
 		every = 1
 	}
+	// NaN guard state: params (with BatchNorm running stats) are snapshotted
+	// before every batch, and a batch whose loss or gradient goes non-finite
+	// is rolled back and retried with a halved learning rate — bounded, so a
+	// genuinely divergent run still fails, but typed and clean.
+	params := p.Net.Params()
+	snap := nn.NewParamSnapshot(params)
+	const maxNaNRetries = 3
+	batchIdx := 0
 	for epoch := startEpoch; epoch < tc.Epochs; epoch++ {
 		if tc.DecayAt > 0 && tc.DecayFactor > 0 && epoch == tc.DecayAt {
 			adam.LR *= tc.DecayFactor
@@ -182,11 +193,38 @@ func (p *Predictor) TrainCtx(ctx context.Context, ds *Dataset, tc TrainConfig) (
 				target.Data[i] = p.Norm.Normalize(ds.Samples[j].Score)
 			}
 			x := p.imageToTensor(imgs)
-			pred := p.Net.Forward(x, true)
-			l, grad := loss.Eval(pred, target)
-			nn.ZeroGrads(p.Net.Params())
-			p.Net.Backward(grad)
-			adam.Step(p.Net.Params())
+			var l float64
+			for retry := 0; ; retry++ {
+				snap.Save(params)
+				pred := p.Net.Forward(x, true)
+				var grad *tensor.Tensor
+				l, grad = loss.Eval(pred, target)
+				nn.ZeroGrads(params)
+				p.Net.Backward(grad)
+				if faultinject.FireAt(faultinject.TrainNaN, batchIdx) {
+					l = math.NaN()
+				}
+				if !math.IsNaN(l) && !math.IsInf(l, 0) && nn.GradsFinite(params) {
+					adam.Step(params)
+					break
+				}
+				// Undo the poisoned forward pass (running stats included) —
+				// Adam never saw the batch, so moments and weights are clean.
+				snap.Restore(params)
+				if retry+1 >= maxNaNRetries {
+					return history, &runx.NumericalError{
+						Op: "model.TrainCtx",
+						Detail: fmt.Sprintf("non-finite loss/gradient at epoch %d batch %d persisted through %d rollbacks with LR backoff (final LR %g)",
+							epoch+1, batches+1, maxNaNRetries, adam.LR),
+					}
+				}
+				adam.LR /= 2
+				if tc.Log != nil {
+					fmt.Fprintf(tc.Log, "model: non-finite loss/gradient at epoch %d batch %d — rolled back, LR halved to %g\n",
+						epoch+1, batches+1, adam.LR)
+				}
+			}
+			batchIdx++
 			epochLoss += l
 			batches++
 		}

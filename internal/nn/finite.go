@@ -1,0 +1,69 @@
+package nn
+
+import "math"
+
+// FiniteSlice reports whether every element of xs is finite (no NaN, no
+// ±Inf). The training loop gates optimizer updates on it so one poisoned
+// gradient cannot leak into the weights.
+func FiniteSlice(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// GradsFinite reports whether every gradient-bearing parameter carries a
+// finite gradient.
+func GradsFinite(params []*Param) bool {
+	for _, p := range params {
+		if p.NoGrad {
+			continue
+		}
+		if !FiniteSlice(p.Grad) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParamSnapshot is a reusable deep copy of a parameter set's values —
+// including NoGrad entries, i.e. the BatchNorm running statistics, which a
+// training forward pass mutates before any loss is seen. The NaN-safe
+// training loop saves into one snapshot before every batch and restores it
+// when the batch produces a non-finite loss or gradient, so a poisoned
+// forward pass leaves no trace in the model. Buffers are allocated once.
+type ParamSnapshot struct {
+	data [][]float64
+}
+
+// NewParamSnapshot sizes a snapshot for the parameter set.
+func NewParamSnapshot(params []*Param) *ParamSnapshot {
+	s := &ParamSnapshot{data: make([][]float64, len(params))}
+	for i, p := range params {
+		s.data[i] = make([]float64, len(p.Data))
+	}
+	return s
+}
+
+// Save copies the current parameter values into the snapshot. The parameter
+// set must be the one the snapshot was sized for.
+func (s *ParamSnapshot) Save(params []*Param) {
+	if len(params) != len(s.data) {
+		panic("nn: ParamSnapshot used with a different parameter set")
+	}
+	for i, p := range params {
+		copy(s.data[i], p.Data)
+	}
+}
+
+// Restore copies the snapshot back into the parameters.
+func (s *ParamSnapshot) Restore(params []*Param) {
+	if len(params) != len(s.data) {
+		panic("nn: ParamSnapshot used with a different parameter set")
+	}
+	for i, p := range params {
+		copy(p.Data, s.data[i])
+	}
+}

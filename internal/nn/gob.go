@@ -1,0 +1,10 @@
+package nn
+
+import "ldmo/internal/artifact"
+
+// Persisted nn types claim their process-global gob type IDs at init, in a
+// fixed order, so a sealed checkpoint's payload bytes depend only on the
+// encoded state — never on which code path happened to gob-encode first.
+func init() {
+	artifact.StabilizeGob(savedParams{}, AdamState{})
+}

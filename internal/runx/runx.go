@@ -62,6 +62,29 @@ func Recover(fn func() error) (err error) {
 	return fn()
 }
 
+// NumericalError reports that an iterative numeric computation produced
+// NaN/Inf and its bounded rollback-and-retry recovery was exhausted — the
+// run diverged for real, it was not a transient fault. Op names the
+// computation (e.g. "model.TrainCtx"), Detail says where and what was tried.
+type NumericalError struct {
+	Op     string
+	Detail string
+}
+
+// Error implements error.
+func (e *NumericalError) Error() string {
+	return fmt.Sprintf("%s: numerical divergence: %s", e.Op, e.Detail)
+}
+
+// AsNumerical unwraps err to a *NumericalError when one is in its chain.
+func AsNumerical(err error) (*NumericalError, bool) {
+	var ne *NumericalError
+	if errors.As(err, &ne) {
+		return ne, true
+	}
+	return nil, false
+}
+
 // Interrupted reports whether err stems from cancellation or a deadline —
 // the two "stop now, keep what you have" conditions a budgeted run handles
 // by returning partial state instead of failing.

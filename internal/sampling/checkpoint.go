@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -8,8 +9,24 @@ import (
 	"os"
 	"path/filepath"
 
+	"ldmo/internal/artifact"
 	"ldmo/internal/grid"
 )
+
+// Sealed-envelope identity of a dataset shard. The schema version is bumped
+// whenever the shard struct changes incompatibly, so a checkpoint directory
+// from another build is rejected (and requarantined per shard) instead of
+// stitching misdecoded samples into the dataset.
+const (
+	shardKind    = "dataset-shard"
+	shardVersion = 1
+)
+
+// Persisted sampling types claim their gob type IDs at init, in a fixed
+// order, keeping sealed shard bytes a pure function of the labeled state.
+func init() {
+	artifact.StabilizeGob(shard{})
+}
 
 // shard is the persisted labeling result of one layout: everything
 // BuildDataset needs to stitch the layout into the dataset without re-running
@@ -28,55 +45,37 @@ func shardPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard_%05d.gob", i))
 }
 
-// writeShard persists a labeled layout atomically: encode into a temp file
-// in the same directory, fsync, then rename over the final name. A crash or
-// cancellation can therefore never leave a half-written shard behind.
+// writeShard persists a labeled layout as a sealed artifact, atomically. A
+// crash or cancellation can never leave a half-written shard behind, and a
+// shard that rots on disk is detected by checksum on the next resume.
 func writeShard(dir string, s shard) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("sampling: checkpoint dir: %w", err)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return fmt.Errorf("sampling: encode shard %d: %w", s.Index, err)
 	}
-	f, err := os.CreateTemp(dir, "shard_*.tmp")
-	if err != nil {
-		return fmt.Errorf("sampling: checkpoint temp: %w", err)
-	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
+	if err := artifact.WriteFile(shardPath(dir, s.Index), shardKind, shardVersion, buf.Bytes()); err != nil {
 		return fmt.Errorf("sampling: write shard %d: %w", s.Index, err)
-	}
-	if err := gob.NewEncoder(f).Encode(s); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("sampling: write shard %d: %w", s.Index, err)
-	}
-	if err := os.Rename(tmp, shardPath(dir, s.Index)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("sampling: commit shard %d: %w", s.Index, err)
 	}
 	return nil
 }
 
 // readShard loads the shard of layout index i when present. ok is false when
-// the shard does not exist; a shard recorded for a different layout name is
-// an error (the checkpoint directory belongs to another run).
+// the shard does not exist. A rejected envelope (bit flip, truncation,
+// version skew, wrong kind) comes back wrapping the artifact sentinel — the
+// caller quarantines and relabels. A shard recorded for a different layout
+// name is a hard error (the checkpoint directory belongs to another run).
 func readShard(dir string, i int, layoutName string) (shard, bool, error) {
-	f, err := os.Open(shardPath(dir, i))
+	path := shardPath(dir, i)
+	payload, err := artifact.ReadFile(path, shardKind, shardVersion)
 	if errors.Is(err, fs.ErrNotExist) {
 		return shard{}, false, nil
 	}
 	if err != nil {
-		return shard{}, false, fmt.Errorf("sampling: read shard %d: %w", i, err)
+		return shard{}, false, err
 	}
-	defer f.Close()
 	var s shard
-	if err := gob.NewDecoder(f).Decode(&s); err != nil {
-		return shard{}, false, fmt.Errorf("sampling: decode shard %d: %w", i, err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return shard{}, false, fmt.Errorf("sampling: shard %s undecodable (%v): %w", path, err, artifact.ErrCorrupt)
 	}
 	if s.Index != i || s.Layout != layoutName {
 		return shard{}, false, fmt.Errorf(
@@ -84,8 +83,8 @@ func readShard(dir string, i int, layoutName string) (shard, bool, error) {
 			i, s.Layout, s.Index, layoutName)
 	}
 	if len(s.Imgs) != len(s.Scores) {
-		return shard{}, false, fmt.Errorf("sampling: shard %d is inconsistent (%d images, %d scores)",
-			i, len(s.Imgs), len(s.Scores))
+		return shard{}, false, fmt.Errorf("sampling: shard %s inconsistent (%d images, %d scores): %w",
+			path, len(s.Imgs), len(s.Scores), artifact.ErrCorrupt)
 	}
 	return s, true, nil
 }

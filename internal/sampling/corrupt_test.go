@@ -1,0 +1,178 @@
+package sampling
+
+import (
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ldmo/internal/artifact"
+	"ldmo/internal/faultinject"
+	"ldmo/internal/geom"
+	"ldmo/internal/grid"
+)
+
+// TestReadShardRejectsCorruptionClasses: every corruption class on a dataset
+// shard must come back wrapping the matching artifact sentinel, so BuildDataset
+// can tell recoverable rot (quarantine and relabel) from everything else.
+func TestReadShardRejectsCorruptionClasses(t *testing.T) {
+	valid := shard{
+		Layout: "l0",
+		Index:  0,
+		Imgs:   []*grid.Grid{grid.New(3, 2, 1, geom.Point{})},
+		Scores: []float64{1.5},
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+		want    error
+	}{
+		{"bitflip", func(t *testing.T, dir string) {
+			p := shardPath(dir, 0)
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-1] ^= 0x01
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, artifact.ErrCorrupt},
+		{"truncation", func(t *testing.T, dir string) {
+			p := shardPath(dir, 0)
+			fi, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(p, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}, artifact.ErrCorrupt},
+		{"version-skew", func(t *testing.T, dir string) {
+			if err := artifact.WriteFile(shardPath(dir, 0), shardKind, shardVersion+1, []byte("future")); err != nil {
+				t.Fatal(err)
+			}
+		}, artifact.ErrVersionMismatch},
+		{"wrong-kind", func(t *testing.T, dir string) {
+			if err := artifact.WriteFile(shardPath(dir, 0), "train-checkpoint", shardVersion, []byte("imposter")); err != nil {
+				t.Fatal(err)
+			}
+		}, artifact.ErrWrongKind},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := writeShard(dir, valid); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, dir)
+			_, _, err := readShard(dir, 0, "l0")
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("corrupted shard returned %v, want %v", err, tc.want)
+			}
+			if !artifact.Rejected(err) {
+				t.Fatalf("error %v not recognized as a rejected envelope", err)
+			}
+		})
+	}
+}
+
+// TestBuildDatasetQuarantinesBitFlippedShard is the acceptance test for shard
+// recovery: interrupt a checkpointed build, flip a bit in one committed shard
+// (via the artifact-bitflip point, at read time), and require the resumed
+// build to quarantine exactly that shard, recompute just that layout, and
+// still produce a dataset bit-identical to an uninterrupted build.
+func TestBuildDatasetQuarantinesBitFlippedShard(t *testing.T) {
+	defer faultinject.Reset()
+	p := pool(t, 3)
+	cfg := testConfig()
+	cfg.Workers = 1 // serial lane makes the interrupt point exact
+
+	want, wantGroups, err := BuildDataset(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg.Checkpoint = dir
+	faultinject.Set(faultinject.CancelAfter, "1")
+	if _, _, err := BuildDatasetCtx(context.Background(), p, cfg, nil); err == nil {
+		t.Fatal("interrupted build must return the context error")
+	}
+	faultinject.Reset()
+	if got := CheckpointShards(dir, len(p)); got == 0 || got >= len(p) {
+		t.Fatalf("interrupted build persisted %d/%d shards, want a strict partial set", got, len(p))
+	}
+	if _, err := os.Stat(shardPath(dir, 0)); err != nil {
+		t.Fatalf("shard 0 missing after the interrupt: %v", err)
+	}
+
+	// One-shot, selector-matched: only shard 0 is corrupted, on its next read.
+	faultinject.Set(faultinject.ArtifactBitflip, "shard_00000")
+	var log strings.Builder
+	ds, groups, err := BuildDatasetCtx(context.Background(), p, cfg, &log)
+	if err != nil {
+		t.Fatalf("resume over a rotten shard failed: %v\nlog:\n%s", err, log.String())
+	}
+	if !strings.Contains(log.String(), "discarding shard 0") ||
+		!strings.Contains(log.String(), "quarantined to") ||
+		!strings.Contains(log.String(), "relabeling") {
+		t.Fatalf("quarantine not reported:\n%s", log.String())
+	}
+	if _, err := os.Stat(shardPath(dir, 0) + artifact.QuarantineSuffix); err != nil {
+		t.Fatalf("rotten shard not quarantined: %v", err)
+	}
+	if !reflect.DeepEqual(ds, want) {
+		t.Fatal("recovered dataset differs from the uninterrupted build")
+	}
+	if !reflect.DeepEqual(groups, wantGroups) {
+		t.Fatal("recovered groups differ from the uninterrupted build")
+	}
+	// The recomputed shard was re-committed, so one more resume is a pure
+	// stitch with no recomputation and no new quarantine.
+	var relog strings.Builder
+	ds2, _, err := BuildDatasetCtx(context.Background(), p, cfg, &relog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(relog.String(), "discarding") {
+		t.Fatalf("clean re-resume quarantined again:\n%s", relog.String())
+	}
+	if !reflect.DeepEqual(ds2, want) {
+		t.Fatal("re-resumed dataset differs from the uninterrupted build")
+	}
+}
+
+// TestBuildDatasetQuarantinesTruncatedShard: the torn-write flavor of the
+// same recovery, driven by the artifact-truncate point.
+func TestBuildDatasetQuarantinesTruncatedShard(t *testing.T) {
+	defer faultinject.Reset()
+	p := pool(t, 3)
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Checkpoint = t.TempDir()
+
+	want, _, err := BuildDataset(p, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BuildDatasetCtx(context.Background(), p, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Set(faultinject.ArtifactTruncate, "shard_00001")
+	var log strings.Builder
+	ds, _, err := BuildDatasetCtx(context.Background(), p, cfg, &log)
+	if err != nil {
+		t.Fatalf("resume over a truncated shard failed: %v", err)
+	}
+	if !strings.Contains(log.String(), "discarding shard 1") {
+		t.Fatalf("quarantine not reported:\n%s", log.String())
+	}
+	if !reflect.DeepEqual(ds, want) {
+		t.Fatal("recovered dataset differs from the clean build")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"ldmo/internal/artifact"
 	"ldmo/internal/cluster"
 	"ldmo/internal/decomp"
 	"ldmo/internal/faultinject"
@@ -201,7 +202,11 @@ func BuildDatasetCtx(ctx context.Context, layouts []layout.Layout, cfg Config, l
 	type labeled struct {
 		imgs   []*grid.Grid
 		scores []float64
-		err    error
+		// quarantined notes a shard that failed envelope verification and
+		// was renamed aside before this layout was relabeled; logged in the
+		// (serial) stitch loop.
+		quarantined string
+		err         error
 	}
 	ctx, cancel := context.WithCancel(orBackground(ctx))
 	defer cancel()
@@ -210,11 +215,25 @@ func BuildDatasetCtx(ctx context.Context, layouts []layout.Layout, cfg Config, l
 	pool := par.NewPool(cfg.Workers)
 	_, cerr := pool.MapCtx(ctx, len(layouts), func(_, li int) {
 		l := layouts[li]
+		var quarantined string
 		if cfg.Checkpoint != "" {
-			if s, ok, err := readShard(cfg.Checkpoint, li, l.Name); err != nil {
+			s, ok, err := readShard(cfg.Checkpoint, li, l.Name)
+			switch {
+			case err != nil && artifact.Rejected(err):
+				// The shard failed envelope verification (bit flip, torn
+				// write, version skew, wrong kind). Labeling is deterministic
+				// per layout, so quarantine the bad bytes and recompute just
+				// this layout — the resumed dataset stays bit-identical.
+				q, qerr := artifact.Quarantine(shardPath(cfg.Checkpoint, li))
+				if qerr != nil {
+					results[li] = labeled{err: fmt.Errorf("sampling: shard %d rejected (%v) and not quarantinable: %w", li, err, qerr)}
+					return
+				}
+				quarantined = fmt.Sprintf("sampling: discarding shard %d (%v); quarantined to %s; relabeling %s\n", li, err, q, l.Name)
+			case err != nil:
 				results[li] = labeled{err: err}
 				return
-			} else if ok {
+			case ok:
 				results[li] = labeled{imgs: s.Imgs, scores: s.Scores}
 				return
 			}
@@ -230,8 +249,9 @@ func BuildDatasetCtx(ctx context.Context, layouts []layout.Layout, cfg Config, l
 			return
 		}
 		out := labeled{
-			imgs:   make([]*grid.Grid, len(cands)),
-			scores: make([]float64, len(cands)),
+			imgs:        make([]*grid.Grid, len(cands)),
+			scores:      make([]float64, len(cands)),
+			quarantined: quarantined,
 		}
 		for i, d := range cands {
 			out.scores[i] = Label(opt, d, cfg.Weights)
@@ -271,6 +291,9 @@ func BuildDatasetCtx(ctx context.Context, layouts []layout.Layout, cfg Config, l
 		}
 		groups = append(groups, group)
 		if log != nil {
+			if r.quarantined != "" {
+				fmt.Fprint(log, r.quarantined)
+			}
 			fmt.Fprintf(log, "labeled %3d/%d  %-12s  %d decompositions\n",
 				li+1, len(results), layouts[li].Name, len(r.imgs))
 		}

@@ -1,12 +1,18 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, then the race detector over the
-# packages with concurrent hot paths (worker pool, FFT scratch sharing,
-# kernel-parallel simulator, candidate fan-out).
+# CI gate: clean-tree guard, vet, build, full test suite, the race detector
+# over the packages with concurrent hot paths (worker pool, FFT scratch
+# sharing, kernel-parallel simulator, candidate fan-out), and a short fuzz
+# smoke on the GDS reader so hostile-input regressions surface before a long
+# fuzz campaign would find them.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# Generated files, gofmt drift, or test litter in the tree fail fast.
+git diff --exit-code
+
 go vet ./...
 go build ./...
 go test -timeout 300s ./...
-go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject
+go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject ./internal/artifact ./internal/model
+go test -run='^$' -fuzz='^FuzzReadGDS$' -fuzztime=10s ./internal/gds
