@@ -11,6 +11,8 @@
 //	ldmo-bench -exp ablation          # selection-policy ablation
 //	ldmo-bench -exp parbench          # serial-vs-parallel OracleSelect,
 //	                                  # emits BENCH_parallel.json
+//	ldmo-bench -exp fftbench          # complex-vs-real spectral engine A/B,
+//	                                  # emits BENCH_fft.json
 //	ldmo-bench -exp all               # everything
 //
 // Flags:
@@ -19,7 +21,7 @@
 //	-model PATH    use a predictor trained by ldmo-train instead of
 //	               training one ad hoc (table1/fig7 only need it)
 //	-seed N        seed for all stochastic stages
-//	-out DIR       output directory for fig7 images / BENCH_parallel.json
+//	-out DIR       output directory for fig7 images / BENCH_*.json
 //	-workers N     parallel worker lanes (0 = GOMAXPROCS, honoring
 //	               LDMO_WORKERS)
 //	-q             suppress progress logging
@@ -42,11 +44,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, all")
 	fast := flag.Bool("fast", false, "coarse raster and reduced training budget")
 	modelPath := flag.String("model", "", "path to a trained predictor (optional)")
 	seed := flag.Int64("seed", 1, "random seed")
-	outDir := flag.String("out", "", "output directory for fig7 images and BENCH_parallel.json")
+	outDir := flag.String("out", "", "output directory for fig7 images and BENCH_*.json")
 	workers := flag.Int("workers", 0, "parallel worker lanes (0 = GOMAXPROCS / LDMO_WORKERS)")
 	deadline := flag.Duration("deadline", 0, "abandon remaining work after this wall time, e.g. 30m")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -90,7 +92,7 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench":
+	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench":
 		run(*exp)
 	default:
 		fatalf("unknown experiment %q", *exp)
@@ -147,6 +149,23 @@ func runExperiment(name string, opt experiments.Options, outDir string, w io.Wri
 			return err
 		}
 		a.Render(w)
+	case "fftbench":
+		b, err := experiments.RunFFTBench(opt)
+		if err != nil {
+			return err
+		}
+		b.Render(w)
+		path := "BENCH_fft.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(outDir, path)
+		}
+		if err := b.WriteJSON(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
 	case "parbench":
 		b, err := experiments.RunParallelBench(opt)
 		if err != nil {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/fft"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+)
+
+// TestEngineGoldenOracleRanking is the flow-level golden guard: scoring
+// every decomposition candidate by full ILT (what OracleSelect does) yields
+// exactly the same ranking — and therefore the same selected decomposition —
+// under the real-input spectral engine as under the complex reference
+// engine. Field-level tolerance lives in litho/ilt; here the contract is
+// exact equality of the discrete outcome.
+func TestEngineGoldenOracleRanking(t *testing.T) {
+	for _, cellName := range []string{"INV_X1", "AOI211_X1"} {
+		cell, err := layout.Cell(cellName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig()
+		w := struct{ alpha, beta, gamma float64 }{1, 3500, 8000}
+
+		type verdicts struct {
+			order   []string
+			bestKey string
+			epe     []int
+			viol    []int
+		}
+		run := func(mode string) verdicts {
+			t.Setenv(fft.EnvMode, mode)
+			gen := decomp.NewGenerator()
+			gen.Classify = cfg.Classify
+			gen.Seed = cfg.Seed
+			cands, err := gen.Generate(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iltCfg := cfg.ILT
+			iltCfg.AbortOnViolation = false
+			opt, err := ilt.NewOptimizer(cell, iltCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := verdicts{}
+			scores := make([]float64, len(cands))
+			for i, d := range cands {
+				r := opt.Run(d)
+				scores[i] = r.Score(w.alpha, w.beta, w.gamma)
+				v.epe = append(v.epe, r.EPE.Violations)
+				v.viol = append(v.viol, r.Violations.Total())
+			}
+			order := make([]int, len(cands))
+			for i := range order {
+				order[i] = i
+			}
+			// Stable selection sort by score, ties broken by generation
+			// order — the same argmin rule OracleSelect applies.
+			for i := 0; i < len(order); i++ {
+				best := i
+				for j := i + 1; j < len(order); j++ {
+					if scores[order[j]] < scores[order[best]] {
+						best = j
+					}
+				}
+				order[i], order[best] = order[best], order[i]
+			}
+			for _, oi := range order {
+				v.order = append(v.order, cands[oi].Key())
+			}
+			d, _, err := OracleSelect(cell, cfg, w.alpha, w.beta, w.gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.bestKey = d.Key()
+			return v
+		}
+
+		ref := run(fft.ModeComplex)
+		got := run("")
+		if got.bestKey != ref.bestKey {
+			t.Errorf("%s: OracleSelect picked %q (real) vs %q (complex)", cellName, got.bestKey, ref.bestKey)
+		}
+		for i := range ref.order {
+			if got.order[i] != ref.order[i] {
+				t.Errorf("%s: ranking[%d] = %q (real) vs %q (complex)", cellName, i, got.order[i], ref.order[i])
+			}
+		}
+		for i := range ref.epe {
+			if got.epe[i] != ref.epe[i] || got.viol[i] != ref.viol[i] {
+				t.Errorf("%s cand %d: EPE/violations %d/%d (real) vs %d/%d (complex)",
+					cellName, i, got.epe[i], got.viol[i], ref.epe[i], ref.viol[i])
+			}
+		}
+	}
+}

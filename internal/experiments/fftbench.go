@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/fft"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/litho"
+)
+
+// FFTBenchOp is one before/after measurement of the spectral engine: the
+// same operation timed under the complex reference path (LDMO_FFT=complex)
+// and the real-input half-spectrum path.
+type FFTBenchOp struct {
+	// ComplexNs and RealNs are ns/op under each engine; Speedup is their
+	// ratio (complex/real, >1 means the overhaul won).
+	ComplexNs float64 `json:"complex_ns_op"`
+	RealNs    float64 `json:"real_ns_op"`
+	Speedup   float64 `json:"speedup"`
+	// Reps is how many iterations each timing loop completed (quick mode
+	// and deadlines shrink it; it never reaches 0 on a completed bench).
+	Reps int `json:"reps"`
+}
+
+// FFTBench is the machine-readable record cmd/ldmo-bench writes to
+// BENCH_fft.json: the A/B comparison of the spectral engine overhaul.
+type FFTBench struct {
+	// Raster/Kernel are the benchmark geometry (pixels); GOMAXPROCS and
+	// Workers document that the comparison is algorithmic, not parallel
+	// (worker lanes are pinned to 1).
+	Raster     int  `json:"raster"`
+	Kernel     int  `json:"kernel"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	Workers    int  `json:"workers"`
+	Quick      bool `json:"quick"`
+
+	// Convolve is one Plan.Convolve (forward + product + inverse);
+	// Aerial/Backward are full SOCS forward and adjoint evaluations over
+	// the kernel bank.
+	Convolve FFTBenchOp `json:"convolve"`
+	Aerial   FFTBenchOp `json:"aerial"`
+	Backward FFTBenchOp `json:"aerial_backward"`
+
+	// Steady-state allocations per call on the real path — the ILT inner
+	// loop's zero-alloc contract, re-proven on every bench run.
+	ConvolveAllocs float64 `json:"convolve_allocs_op"`
+	AerialAllocs   float64 `json:"aerial_allocs_op"`
+	BackwardAllocs float64 `json:"aerial_backward_allocs_op"`
+
+	// ILTCell / ILTIters / ILT are the end-to-end check: one full ILT run
+	// (all gradient iterations) on a real cell under each engine.
+	ILTCell  string     `json:"ilt_cell"`
+	ILTIters int        `json:"ilt_iters"`
+	ILT      FFTBenchOp `json:"ilt_wall"`
+}
+
+// withFFTMode runs fn with LDMO_FFT set to mode, restoring the previous
+// value. Plans capture the mode at construction, so fn must build every
+// plan/simulator it measures.
+func withFFTMode(mode string, fn func() error) error {
+	prev, had := os.LookupEnv(fft.EnvMode)
+	os.Setenv(fft.EnvMode, mode)
+	defer func() {
+		if had {
+			os.Setenv(fft.EnvMode, prev)
+		} else {
+			os.Unsetenv(fft.EnvMode)
+		}
+	}()
+	return fn()
+}
+
+// timeOp measures fn over up to reps iterations, stopping early (but after
+// at least one) once ctx is done — this is what makes the bench respect
+// -deadline in CI. It returns ns/op and the iterations completed.
+func timeOp(ctx context.Context, reps int, fn func()) (float64, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	fn() // warm caches, tables and lazy state outside the timed region
+	done := 0
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+		done++
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(done), done, nil
+}
+
+// RunFFTBench measures the spectral engine A/B: Plan.Convolve, SOCS Aerial,
+// and the fused AerialBackward under both engine modes, plus one end-to-end
+// ILT run per mode, all serial (workers=1) so the ratio is algorithmic.
+func RunFFTBench(o Options) (FFTBench, error) {
+	ctx := o.context()
+	out := FFTBench{
+		Raster:     224,
+		Kernel:     31,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    1,
+		Quick:      o.Fast,
+	}
+	reps := 40
+	iltCell := "AOI211_X1"
+	if o.Fast {
+		out.Raster = 112
+		reps = 10
+	}
+
+	// Synthetic raster + smoothing kernel for the Plan-level measurement.
+	img := make([]float64, out.Raster*out.Raster)
+	for i := range img {
+		img[i] = float64(i%13) / 13
+	}
+	kernel := make([]float64, out.Kernel*out.Kernel)
+	for i := range kernel {
+		kernel[i] = 1.0 / float64(len(kernel))
+	}
+	convOp := func() (float64, int, error) {
+		p := fft.NewPlan(out.Raster, out.Raster, out.Kernel, out.Kernel)
+		kf := p.TransformKernel(kernel)
+		dst := make([]float64, len(img))
+		return timeOp(ctx, reps, func() { p.Convolve(img, kf, dst) })
+	}
+
+	// SOCS simulator for the Aerial / fused-backward measurement.
+	params := litho.DefaultParams()
+	simOp := func(backward bool) (float64, int, error) {
+		sim, err := litho.NewSimulator(out.Raster, out.Raster, params)
+		if err != nil {
+			return 0, 0, err
+		}
+		sim.SetWorkers(1)
+		fields := sim.NewFields()
+		aerial := make([]float64, len(img))
+		grad := make([]float64, len(img))
+		sim.Aerial(img, aerial, fields)
+		if backward {
+			return timeOp(ctx, reps, func() { sim.AerialBackward(aerial, fields, grad) })
+		}
+		return timeOp(ctx, reps, func() { sim.Aerial(img, aerial, fields) })
+	}
+
+	iltOp := func() (float64, int, error) {
+		cell, err := layout.Cell(iltCell)
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg := o.iltConfig()
+		cfg.AbortOnViolation = false // full budget: both engines do identical work
+		opt, err := ilt.NewOptimizer(cell, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		cands, err := decomp.NewGenerator().Generate(cell)
+		if err != nil {
+			return 0, 0, err
+		}
+		out.ILTIters = cfg.Normalize().MaxIters
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		r := opt.RunCtx(ctx, cands[0])
+		if r.Interrupted {
+			return 0, 0, ctx.Err()
+		}
+		return float64(time.Since(start).Nanoseconds()), 1, nil
+	}
+
+	measure := func(name string, dst *FFTBenchOp, op func() (float64, int, error)) error {
+		var err error
+		if e := withFFTMode(fft.ModeComplex, func() error {
+			dst.ComplexNs, dst.Reps, err = op()
+			return err
+		}); e != nil {
+			return fmt.Errorf("%s (complex): %w", name, e)
+		}
+		if e := withFFTMode("", func() error {
+			dst.RealNs, _, err = op()
+			return err
+		}); e != nil {
+			return fmt.Errorf("%s (real): %w", name, e)
+		}
+		if dst.RealNs > 0 {
+			dst.Speedup = dst.ComplexNs / dst.RealNs
+		}
+		o.logf("fftbench %-16s complex %12.0f ns/op  real %12.0f ns/op  speedup %.2fx\n",
+			name, dst.ComplexNs, dst.RealNs, dst.Speedup)
+		return nil
+	}
+
+	if err := measure("convolve", &out.Convolve, convOp); err != nil {
+		return out, err
+	}
+	if err := measure("aerial", &out.Aerial, func() (float64, int, error) { return simOp(false) }); err != nil {
+		return out, err
+	}
+	if err := measure("backward", &out.Backward, func() (float64, int, error) { return simOp(true) }); err != nil {
+		return out, err
+	}
+
+	// Steady-state allocation proof on the real (default) path.
+	if err := withFFTMode("", func() error {
+		p := fft.NewPlan(out.Raster, out.Raster, out.Kernel, out.Kernel)
+		kf := p.TransformKernel(kernel)
+		dst := make([]float64, len(img))
+		out.ConvolveAllocs = testing.AllocsPerRun(5, func() { p.Convolve(img, kf, dst) })
+		sim, err := litho.NewSimulator(out.Raster, out.Raster, params)
+		if err != nil {
+			return err
+		}
+		sim.SetWorkers(1)
+		fields := sim.NewFields()
+		aerial := make([]float64, len(img))
+		grad := make([]float64, len(img))
+		sim.Aerial(img, aerial, fields)
+		out.AerialAllocs = testing.AllocsPerRun(5, func() { sim.Aerial(img, aerial, fields) })
+		out.BackwardAllocs = testing.AllocsPerRun(5, func() { sim.AerialBackward(aerial, fields, grad) })
+		return nil
+	}); err != nil {
+		return out, err
+	}
+
+	out.ILTCell = iltCell
+	if err := measure("ilt-e2e", &out.ILT, iltOp); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// WriteJSON writes the bench record to path.
+func (b FFTBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the human-readable summary.
+func (b FFTBench) Render(w io.Writer) {
+	fmt.Fprintln(w, "Spectral engine A/B benchmark (complex reference vs real-input path)")
+	fmt.Fprintf(w, "raster %dx%d  kernel %dx%d  workers %d (GOMAXPROCS %d)  quick %v\n",
+		b.Raster, b.Raster, b.Kernel, b.Kernel, b.Workers, b.GOMAXPROCS, b.Quick)
+	row := func(name string, op FFTBenchOp) {
+		fmt.Fprintf(w, "%-16s complex %12.0f ns/op   real %12.0f ns/op   speedup %.2fx\n",
+			name, op.ComplexNs, op.RealNs, op.Speedup)
+	}
+	row("Plan.Convolve", b.Convolve)
+	row("Aerial", b.Aerial)
+	row("AerialBackward", b.Backward)
+	row("ILT end-to-end", b.ILT)
+	fmt.Fprintf(w, "steady-state allocs/op (real path): convolve %.1f  aerial %.1f  backward %.1f\n",
+		b.ConvolveAllocs, b.AerialAllocs, b.BackwardAllocs)
+	fmt.Fprintf(w, "ILT: cell %s, %d iterations per engine\n", b.ILTCell, b.ILTIters)
+}

@@ -1,13 +1,31 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+)
+
+// EnvMode selects the spectral representation: the default is the
+// half-spectrum real-input path; setting LDMO_FFT=complex at plan creation
+// falls back to the full complex reference engine (the pre-overhaul path)
+// for A/B verification and benchmarking. Spectra and transformed kernels are
+// mode-specific: they must come from the same plan that consumes them.
+const EnvMode = "LDMO_FFT"
+
+// ModeComplex is the EnvMode value selecting the full-complex reference path.
+const ModeComplex = "complex"
 
 // Plan is a reusable workspace for repeated "same"-size 2-D convolutions of a
 // w x h image with kw x kh kernels. The ILT loop convolves the same kernels
 // against evolving masks hundreds of times per run, so the plan caches the
-// padded power-of-two geometry and scratch buffers, and kernels are
-// transformed once with TransformKernel. The hot path (Forward/ApplySpec and
-// the Convolve/Correlate wrappers) performs no per-call allocation.
+// padded power-of-two geometry, the twiddle/bit-reversal tables (shared
+// process-wide per size), and scratch buffers; kernels are transformed once
+// with TransformKernel. The hot path (Forward/ApplySpec and the
+// Convolve/Correlate wrappers) performs no per-call allocation.
+//
+// In the default real mode all spectra are stored half-width (HW = PW/2+1
+// Hermitian bins per row, PH rows); in complex mode (LDMO_FFT=complex) they
+// are full PW x PH fields. SpecLen reports the active layout's length.
 //
 // A Plan is not safe for concurrent use; create one per goroutine. The one
 // sanctioned sharing pattern is fan-out over a single Forward spectrum:
@@ -15,24 +33,32 @@ import "fmt"
 // simultaneously on one plan as long as each caller owns a distinct Scratch
 // (the methods only read plan geometry and the shared spectrum).
 type Plan struct {
-	W, H    int // image size
-	KW, KH  int // kernel size (odd in both dimensions)
-	PW, PH  int // padded transform size (powers of two)
-	scratch Scratch
+	W, H   int // image size
+	KW, KH int // kernel size (odd in both dimensions)
+	PW, PH int // padded transform size (powers of two)
+	HW     int // spectral row width: PW/2+1 (real mode) or PW (complex)
+
+	realMode bool
+	twRow    *twiddles // length-PW tables (rows; rfft untangling)
+	twHalf   *twiddles // length-PW/2 tables (packed rfft core; nil in complex mode)
+	twCol    *twiddles // length-PH tables (columns)
+	scratch  Scratch
 }
 
 // Scratch is the per-goroutine workspace of one convolution lane: a forward
-// spectrum, a product/inverse-transform field, and the 2-D column strip. A
-// plan owns one Scratch for its serial methods; parallel callers allocate one
-// per worker with NewScratch.
+// spectrum, a product/inverse-transform field, the blocked column strip, and
+// (real mode) the real row staging buffer. A plan owns one Scratch for its
+// serial methods; parallel callers allocate one per worker with NewScratch.
 type Scratch struct {
 	spec []complex128
 	buf  []complex128
 	col  []complex128
+	rrow []float64
 }
 
 // NewPlan builds a convolution plan. Kernel dimensions must be odd so the
-// kernel has an unambiguous center pixel.
+// kernel has an unambiguous center pixel. The spectral representation is
+// chosen here from LDMO_FFT (see EnvMode).
 func NewPlan(w, h, kw, kh int) *Plan {
 	if w <= 0 || h <= 0 || kw <= 0 || kh <= 0 {
 		panic(fmt.Sprintf("fft: invalid plan dims %dx%d kernel %dx%d", w, h, kw, kh))
@@ -43,16 +69,36 @@ func NewPlan(w, h, kw, kh int) *Plan {
 	pw := NextPow2(w + kw - 1)
 	ph := NextPow2(h + kh - 1)
 	p := &Plan{W: w, H: h, KW: kw, KH: kh, PW: pw, PH: ph}
+	p.realMode = os.Getenv(EnvMode) != ModeComplex
+	if p.realMode {
+		p.HW = rfftLen(pw)
+		if pw > 1 {
+			p.twHalf = tablesFor(pw / 2)
+		}
+	} else {
+		p.HW = pw
+	}
+	p.twRow = tablesFor(pw)
+	p.twCol = tablesFor(ph)
 	p.scratch = *p.NewScratch()
 	return p
 }
 
+// RealMode reports whether the plan uses the half-spectrum real-input path.
+func (p *Plan) RealMode() bool { return p.realMode }
+
+// SpecLen returns the length of this plan's spectral buffers — what Forward
+// returns and TransformKernel produces, and the size callers must allocate
+// for fused accumulators fed to InverseSpec.
+func (p *Plan) SpecLen() int { return p.HW * p.PH }
+
 // NewScratch allocates a workspace sized for this plan's padded geometry.
 func (p *Plan) NewScratch() *Scratch {
 	return &Scratch{
-		spec: make([]complex128, p.PW*p.PH),
-		buf:  make([]complex128, p.PW*p.PH),
-		col:  make([]complex128, p.PH),
+		spec: make([]complex128, p.SpecLen()),
+		buf:  make([]complex128, p.SpecLen()),
+		col:  make([]complex128, colBlock*p.PH),
+		rrow: make([]float64, p.PW),
 	}
 }
 
@@ -64,7 +110,7 @@ func (p *Plan) TransformKernel(kernel []float64) []complex128 {
 	if len(kernel) != p.KW*p.KH {
 		panic(fmt.Sprintf("fft: kernel length %d != %dx%d", len(kernel), p.KW, p.KH))
 	}
-	kf := make([]complex128, p.PW*p.PH)
+	wrapped := make([]float64, p.PW*p.PH)
 	cx, cy := (p.KW-1)/2, (p.KH-1)/2
 	for ky := 0; ky < p.KH; ky++ {
 		for kx := 0; kx < p.KW; kx++ {
@@ -72,10 +118,22 @@ func (p *Plan) TransformKernel(kernel []float64) []complex128 {
 			// negative offsets to the far edge of the padded field.
 			x := (kx - cx + p.PW) % p.PW
 			y := (ky - cy + p.PH) % p.PH
-			kf[y*p.PW+x] = complex(kernel[ky*p.KW+kx], 0)
+			wrapped[y*p.PW+x] = kernel[ky*p.KW+kx]
 		}
 	}
-	transform2D(kf, p.PW, p.PH, false, p.scratch.col)
+	kf := make([]complex128, p.SpecLen())
+	s := &p.scratch
+	if p.realMode {
+		for y := 0; y < p.PH; y++ {
+			rfftRow(kf[y*p.HW:(y+1)*p.HW], wrapped[y*p.PW:(y+1)*p.PW], p.twHalf, p.twRow)
+		}
+		transformCols(kf, p.HW, p.PH, p.twCol, false, s.col)
+		return kf
+	}
+	for i, v := range wrapped {
+		kf[i] = complex(v, 0)
+	}
+	transform2D(kf, p.PW, p.PH, false, s.col)
 	return kf
 }
 
@@ -126,6 +184,17 @@ func (p *Plan) ForwardInto(s *Scratch, img []float64) []complex128 {
 		panic(fmt.Sprintf("fft: image length %d != %dx%d", len(img), p.W, p.H))
 	}
 	spec := s.spec
+	if p.realMode {
+		for y := 0; y < p.H; y++ {
+			rfftRow(spec[y*p.HW:(y+1)*p.HW], img[y*p.W:(y+1)*p.W], p.twHalf, p.twRow)
+		}
+		tail := spec[p.H*p.HW:]
+		for i := range tail {
+			tail[i] = 0
+		}
+		transformCols(spec, p.HW, p.PH, p.twCol, false, s.col)
+		return spec
+	}
 	for y := 0; y < p.H; y++ {
 		row := spec[y*p.PW : (y+1)*p.PW]
 		for x := 0; x < p.W; x++ {
@@ -154,10 +223,7 @@ func (p *Plan) ApplySpec(spec, kfft []complex128, out []float64, conj bool) {
 // each passes a distinct Scratch. Passing the scratch whose spectrum buffer
 // is spec itself is safe: the product is formed in the separate buf field.
 func (p *Plan) ApplySpecWith(s *Scratch, spec, kfft []complex128, out []float64, conj bool) {
-	if len(out) != p.W*p.H {
-		panic(fmt.Sprintf("fft: out length %d != %dx%d", len(out), p.W, p.H))
-	}
-	if len(kfft) != p.PW*p.PH || len(spec) != p.PW*p.PH {
+	if len(kfft) != p.SpecLen() || len(spec) != p.SpecLen() {
 		panic("fft: spectrum or kernel transform from a different plan")
 	}
 	buf := s.buf
@@ -171,11 +237,59 @@ func (p *Plan) ApplySpecWith(s *Scratch, spec, kfft []complex128, out []float64,
 			buf[i] = spec[i] * kfft[i]
 		}
 	}
-	transform2D(buf, p.PW, p.PH, true, s.col)
+	p.inverseInto(s, buf, out)
+}
+
+// InverseSpec inverse-transforms a frequency-domain field assembled from
+// Forward spectra and transformed kernels of this plan — e.g. a fused
+// gradient accumulation sum_k conj(K_k)*F_k — into out (row-major W x H).
+// freq is destroyed. This is the "one inverse transform per gradient" entry
+// the simulator's fused backward pass uses in place of one inverse per
+// kernel.
+func (p *Plan) InverseSpec(s *Scratch, freq []complex128, out []float64) {
+	if len(freq) != p.SpecLen() {
+		panic("fft: frequency field from a different plan")
+	}
+	p.inverseInto(s, freq, out)
+}
+
+// inverseInto inverse-transforms freq in place and writes the W x H real
+// region into out. In real mode only the first H output rows are
+// reconstructed: the padded tail rows are about to be discarded, so their
+// inverse row transforms are skipped entirely.
+func (p *Plan) inverseInto(s *Scratch, freq []complex128, out []float64) {
+	if len(out) != p.W*p.H {
+		panic(fmt.Sprintf("fft: out length %d != %dx%d", len(out), p.W, p.H))
+	}
+	if p.realMode {
+		transformCols(freq, p.HW, p.PH, p.twCol, true, s.col)
+		norm := 1 / float64(p.PH)
+		for y := 0; y < p.H; y++ {
+			irfftRow(s.rrow, freq[y*p.HW:(y+1)*p.HW], p.twHalf, p.twRow)
+			orow := out[y*p.W : (y+1)*p.W]
+			for x := range orow {
+				orow[x] = s.rrow[x] * norm
+			}
+		}
+		return
+	}
+	transform2D(freq, p.PW, p.PH, true, s.col)
 	for y := 0; y < p.H; y++ {
 		for x := 0; x < p.W; x++ {
-			out[y*p.W+x] = real(buf[y*p.PW+x])
+			out[y*p.W+x] = real(freq[y*p.PW+x])
 		}
+	}
+}
+
+// AccumulateConj adds spec[i] * conj(kfft[i]) into acc — the spectral-domain
+// correlation accumulation of the fused adjoint pass. All three slices must
+// share one plan's spectral layout.
+func AccumulateConj(acc, spec, kfft []complex128) {
+	if len(acc) != len(spec) || len(acc) != len(kfft) {
+		panic(fmt.Sprintf("fft: accumulate length mismatch %d/%d/%d", len(acc), len(spec), len(kfft)))
+	}
+	for i, k := range kfft {
+		acc[i] += spec[i] * complex(real(k), -imag(k))
 	}
 }
 

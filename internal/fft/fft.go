@@ -3,11 +3,18 @@
 // the SOCS model is a set of 2-D convolutions of the mask with the optical
 // kernels; on 224x224-class rasters the FFT path is the difference between a
 // usable ILT loop and an unusable one.
+//
+// The transforms are table-driven: per-size twiddle factors and bit-reversal
+// permutations are computed once (see tables.go) and every butterfly reads
+// the exact Sincos-sampled constant, so accuracy does not degrade with
+// transform length. Real-valued rasters — masks, fields, kernels, which is
+// everything the simulator transforms — go through the half-spectrum RFFT
+// path in rfft.go unless LDMO_FFT=complex forces the full complex reference
+// path.
 package fft
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 )
 
@@ -25,89 +32,137 @@ func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 // FFT performs an in-place forward radix-2 Cooley-Tukey transform of x.
 // len(x) must be a power of two; it panics otherwise, since a bad length is
 // always a programming error in this codebase (callers pad explicitly).
-func FFT(x []complex128) { transform(x, false) }
+func FFT(x []complex128) { transformWith(x, tablesFor(len(x)), false) }
 
 // IFFT performs an in-place inverse transform of x, including the 1/N
 // normalization, so IFFT(FFT(x)) == x up to rounding.
 func IFFT(x []complex128) {
-	transform(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
+	transformWith(x, tablesFor(len(x)), true)
+	scale(x, 1/float64(len(x)))
 }
 
-func transform(x []complex128, inverse bool) {
-	n := len(x)
-	if !IsPow2(n) {
-		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+// transformWith runs the in-place radix-2 transform of x against
+// precomputed tables; len(x) must equal tw.n. No normalization is applied.
+func transformWith(x []complex128, tw *twiddles, inverse bool) {
+	n := tw.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: length %d != table size %d", len(x), n))
 	}
-	// Bit-reversal permutation.
-	for i, j := 0, 0; i < n; i++ {
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-		mask := n >> 1
-		for ; j&mask != 0; mask >>= 1 {
-			j &^= mask
-		}
-		j |= mask
+	if n <= 1 {
+		return
 	}
-	// Iterative butterflies.
+	// Bit-reversal permutation, precomputed.
+	for i, r := range tw.rev {
+		if int32(i) < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	tab := tw.fwd
+	if inverse {
+		tab = tw.inv
+	}
+	// Iterative butterflies; stage size s reads the table with stride n/s.
 	for size := 2; size <= n; size <<= 1 {
-		ang := 2 * math.Pi / float64(size)
-		if !inverse {
-			ang = -ang
-		}
-		wstep := complex(math.Cos(ang), math.Sin(ang))
+		half := size >> 1
+		step := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			half := size / 2
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wstep
+			ti := 0
+			for k := start; k < start+half; k++ {
+				a := x[k]
+				b := x[k+half] * tab[ti]
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += step
 			}
 		}
 	}
 }
 
+// scale multiplies every element by s. The transform sizes here are powers
+// of two, so s = 1/n is exact and this matches per-element division bit for
+// bit.
+func scale(x []complex128, s float64) {
+	c := complex(s, 0)
+	for i := range x {
+		x[i] *= c
+	}
+}
+
+// colBlock is how many columns the 2-D drivers gather and transform per
+// pass. Walking the raster row-wise in strips of colBlock columns keeps the
+// gather/scatter sequential in memory instead of striding the full row
+// width once per column.
+const colBlock = 8
+
 // FFT2D transforms a w x h row-major complex raster in place (rows first,
-// then columns). Both w and h must be powers of two.
-func FFT2D(data []complex128, w, h int) { transform2D(data, w, h, false, make([]complex128, h)) }
+// then columns). Both w and h must be powers of two. The column scratch
+// comes from a pool, so steady-state calls do not allocate.
+func FFT2D(data []complex128, w, h int) {
+	strip := getStrip(colBlock * h)
+	transform2D(data, w, h, false, *strip)
+	putStrip(strip)
+}
 
 // IFFT2D inverts FFT2D, including normalization.
-func IFFT2D(data []complex128, w, h int) { transform2D(data, w, h, true, make([]complex128, h)) }
+func IFFT2D(data []complex128, w, h int) {
+	strip := getStrip(colBlock * h)
+	transform2D(data, w, h, true, *strip)
+	putStrip(strip)
+}
 
-// transform2D is the shared 2-D driver. col is the caller-provided column
-// strip (len >= h); Plan threads its reusable scratch through here so the
+// transform2D is the shared full-complex 2-D driver. col is the
+// caller-provided column strip (len >= h; larger strips enable blocked
+// column processing); Plan threads its reusable scratch through here so the
 // convolution hot path performs no per-call allocation.
 func transform2D(data []complex128, w, h int, inverse bool, col []complex128) {
 	if len(data) != w*h {
 		panic(fmt.Sprintf("fft: data length %d != %d x %d", len(data), w, h))
 	}
+	rtw := tablesFor(w)
+	for y := 0; y < h; y++ {
+		transformWith(data[y*w:(y+1)*w], rtw, inverse)
+	}
+	if inverse {
+		scale(data, 1/float64(w))
+	}
+	transformCols(data, w, h, tablesFor(h), inverse, col)
+	if inverse {
+		scale(data, 1/float64(h))
+	}
+}
+
+// transformCols transforms every column of the w x h raster in place using
+// the length-h tables, processing as many columns per pass as the strip
+// scratch holds. The per-column results are independent of the blocking
+// factor. No normalization is applied.
+func transformCols(data []complex128, w, h int, tw *twiddles, inverse bool, col []complex128) {
 	if len(col) < h {
 		panic(fmt.Sprintf("fft: column scratch %d < %d", len(col), h))
 	}
-	col = col[:h]
-	do := FFT
-	if inverse {
-		do = IFFT
+	nb := len(col) / h
+	if nb > w {
+		nb = w
 	}
-	// Rows.
-	for y := 0; y < h; y++ {
-		do(data[y*w : (y+1)*w])
-	}
-	// Columns, via the scratch strip.
-	for x := 0; x < w; x++ {
-		for y := 0; y < h; y++ {
-			col[y] = data[y*w+x]
+	for x0 := 0; x0 < w; x0 += nb {
+		b := nb
+		if x0+b > w {
+			b = w - x0
 		}
-		do(col)
+		blk := col[:b*h]
 		for y := 0; y < h; y++ {
-			data[y*w+x] = col[y]
+			row := data[y*w+x0 : y*w+x0+b]
+			for j, v := range row {
+				blk[j*h+y] = v
+			}
+		}
+		for j := 0; j < b; j++ {
+			transformWith(blk[j*h:(j+1)*h], tw, inverse)
+		}
+		for y := 0; y < h; y++ {
+			row := data[y*w+x0 : y*w+x0+b]
+			for j := range row {
+				row[j] = blk[j*h+y]
+			}
 		}
 	}
 }

@@ -1,0 +1,89 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// twiddles holds the precomputed constants of one transform length n: the
+// bit-reversal permutation and the first half of the unit circle, sampled
+// directly with Sincos per index (not by the multiplicative recurrence the
+// old transform used, whose rounding error grows with n). The radix-2
+// butterfly at stage size s indexes the table with stride n/s, so one table
+// serves every stage.
+//
+// Tables are immutable after construction and shared freely across
+// goroutines; tablesFor caches them per size, so repeated plans of the same
+// geometry — the steady state of an ILT run — never recompute a twiddle.
+type twiddles struct {
+	n   int
+	rev []int32      // bit-reversal permutation of 0..n-1
+	fwd []complex128 // fwd[k] = exp(-2*pi*i*k/n), k < n/2
+	inv []complex128 // inv[k] = exp(+2*pi*i*k/n), k < n/2
+}
+
+var (
+	tableMu    sync.RWMutex
+	tableCache = map[int]*twiddles{}
+)
+
+// tablesFor returns the cached twiddle/bit-reversal tables for an n-point
+// transform, building them on first use. n must be a power of two.
+func tablesFor(n int) *twiddles {
+	tableMu.RLock()
+	t := tableCache[n]
+	tableMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if t = tableCache[n]; t != nil {
+		return t
+	}
+	t = newTwiddles(n)
+	tableCache[n] = t
+	return t
+}
+
+func newTwiddles(n int) *twiddles {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	t := &twiddles{n: n, rev: make([]int32, n)}
+	if n == 1 {
+		return t
+	}
+	logn := bits.Len(uint(n)) - 1
+	for i := 1; i < n; i++ {
+		t.rev[i] = t.rev[i>>1]>>1 | int32((i&1)<<(logn-1))
+	}
+	half := n / 2
+	t.fwd = make([]complex128, half)
+	t.inv = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		s, c := math.Sincos(2 * math.Pi * float64(k) / float64(n))
+		t.fwd[k] = complex(c, -s)
+		t.inv[k] = complex(c, s)
+	}
+	return t
+}
+
+// stripPool recycles the column-strip scratch of the package-level
+// FFT2D/IFFT2D entry points, so the convenience API is allocation-free in
+// steady state like the Plan hot path (which carries its strip in Scratch).
+var stripPool sync.Pool
+
+func getStrip(n int) *[]complex128 {
+	v, _ := stripPool.Get().(*[]complex128)
+	if v == nil || cap(*v) < n {
+		s := make([]complex128, n)
+		v = &s
+	}
+	*v = (*v)[:n]
+	return v
+}
+
+func putStrip(v *[]complex128) { stripPool.Put(v) }

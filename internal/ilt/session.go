@@ -59,12 +59,15 @@ func (o *Optimizer) NewSession(d interface {
 	n := o.sim.W * o.sim.H
 	m1g, m2g := d.Masks(o.cfg.Litho.Resolution)
 	s := &Session{
-		o:         o,
-		composed:  grid.NewLike(o.target),
-		sat:       make([]bool, n),
-		gradT:     make([]float64, n),
-		gradI:     make([]float64, n),
-		gradM:     make([]float64, n),
+		o:        o,
+		composed: grid.NewLike(o.target),
+		sat:      make([]bool, n),
+		gradT:    make([]float64, n),
+		gradI:    make([]float64, n),
+		gradM:    make([]float64, n),
+		// The trace grows by one row per iteration; reserving the full
+		// budget up front keeps the steady-state Step loop append-free.
+		trace:     make([]IterStat, 0, o.cfg.MaxIters+1),
 		stepScale: 1,
 	}
 	masks := [2][]float64{m1g.Data, m2g.Data}

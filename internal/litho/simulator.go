@@ -18,19 +18,22 @@ import (
 // per-kernel contributions are reduced in fixed kernel order, so the output
 // is bit-identical to the serial evaluation.
 type Simulator struct {
-	P     Params
-	W, H  int
-	bank  []Kernel
-	plan  *fft.Plan
-	kffts [][]complex128
-	field []float64 // scratch: amplitude field of the current kernel
-	acc   []float64 // scratch: gradient accumulation
-	clock *simclock.Clock
+	P       Params
+	W, H    int
+	bank    []Kernel
+	plan    *fft.Plan
+	fs      *fft.Scratch // the serial lane's transform workspace
+	kffts   [][]complex128
+	field   []float64    // scratch: amplitude field of the current kernel
+	acc     []float64    // scratch: gradient accumulation
+	specAcc []complex128 // scratch: fused spectral gradient accumulator
+	clock   *simclock.Clock
 
 	workers int       // kernel-level parallelism (1 = serial)
 	pool    *par.Pool // lazily built with the lane scratch below
 	lanes   []*simLane
-	kbuf    [][]float64 // per-kernel field scratch for the parallel paths
+	kbuf    [][]float64    // per-kernel field scratch for the parallel paths
+	kspec   [][]complex128 // per-kernel spectral scratch (fused parallel backward)
 }
 
 // simLane is the worker-owned scratch of one kernel-parallel lane.
@@ -57,8 +60,9 @@ func NewSimulator(w, h int, p Params) (*Simulator, error) {
 		kffts[i] = plan.TransformKernel(padKernel(k, ks))
 	}
 	s := &Simulator{
-		P: p, W: w, H: h, bank: bank, plan: plan, kffts: kffts,
+		P: p, W: w, H: h, bank: bank, plan: plan, fs: plan.NewScratch(), kffts: kffts,
 		field: make([]float64, w*h), acc: make([]float64, w*h),
+		specAcc: make([]complex128, plan.SpecLen()),
 	}
 	s.SetWorkers(0)
 	return s, nil
@@ -90,6 +94,7 @@ func (s *Simulator) SetWorkers(n int) {
 	s.pool = nil
 	s.lanes = nil
 	s.kbuf = nil
+	s.kspec = nil
 }
 
 // Workers returns the kernel-level parallelism in effect.
@@ -109,6 +114,12 @@ func (s *Simulator) ensurePar() {
 	s.kbuf = make([][]float64, len(s.bank))
 	for i := range s.kbuf {
 		s.kbuf[i] = make([]float64, s.W*s.H)
+	}
+	if s.plan.RealMode() {
+		s.kspec = make([][]complex128, len(s.bank))
+		for i := range s.kspec {
+			s.kspec[i] = make([]complex128, s.plan.SpecLen())
+		}
 	}
 }
 
@@ -140,8 +151,10 @@ func (s *Simulator) Aerial(mask []float64, out []float64, fields *Fields) {
 	for i := range out {
 		out[i] = 0
 	}
-	// The mask transform is shared by every kernel.
-	spec := s.plan.Forward(mask)
+	// The mask transform is shared by every kernel, computed once into the
+	// simulator's own scratch (not the plan's embedded one, so the plan's
+	// convenience API stays usable around an optimization loop).
+	spec := s.plan.ForwardInto(s.fs, mask)
 	if s.workers > 1 && len(s.bank) > 1 {
 		s.ensurePar()
 		s.pool.Map(len(s.bank), func(lane, k int) {
@@ -171,7 +184,7 @@ func (s *Simulator) Aerial(mask []float64, out []float64, fields *Fields) {
 		if fields != nil {
 			dst = fields.Amp[k]
 		}
-		s.plan.ApplySpec(spec, s.kffts[k], dst, false)
+		s.plan.ApplySpecWith(s.fs, spec, s.kffts[k], dst, false)
 		s.clock.Charge(simclock.CostConvolution, 1)
 		w := s.bank[k].Weight
 		for i, a := range dst {
@@ -181,12 +194,26 @@ func (s *Simulator) Aerial(mask []float64, out []float64, fields *Fields) {
 }
 
 // AerialBackward accumulates into gradMask the adjoint of Aerial: given
-// gradI = dL/dI it adds dL/dMask = sum_k w_k * 2 * corr(h_k, gradI * amp_k).
-// fields must come from the matching forward Aerial call. gradMask is
-// overwritten, not accumulated into.
+// gradI = dL/dI it computes dL/dMask = sum_k w_k * 2 * corr(h_k, gradI *
+// amp_k). fields must come from the matching forward Aerial call. gradMask
+// is overwritten, not accumulated into.
+//
+// On the real-input spectral path the per-kernel correlations are fused in
+// the frequency domain: each kernel contributes one forward transform of its
+// weighted field, the products with conj(K_k) accumulate into a single
+// half-spectrum, and one inverse transform produces the whole gradient —
+// K+1 transforms per call instead of the 2K of the kernel-by-kernel adjoint.
+// The complex reference path (LDMO_FFT=complex) keeps the kernel-by-kernel
+// form, preserving the pre-overhaul engine for A/B comparison. Either way
+// the parallel reduction runs in fixed kernel order, so the output is
+// bit-identical to the serial evaluation at any worker count.
 func (s *Simulator) AerialBackward(gradI []float64, fields *Fields, gradMask []float64) {
 	if fields == nil {
 		panic("litho: AerialBackward requires fields from Aerial")
+	}
+	if s.plan.RealMode() {
+		s.aerialBackwardFused(gradI, fields, gradMask)
+		return
 	}
 	for i := range gradMask {
 		gradMask[i] = 0
@@ -217,12 +244,61 @@ func (s *Simulator) AerialBackward(gradI []float64, fields *Fields, gradMask []f
 		for i := range s.acc {
 			s.acc[i] = 2 * w * gradI[i] * amp[i]
 		}
-		s.plan.Correlate(s.acc, s.kffts[k], s.field)
+		s.plan.CorrelateWith(s.fs, s.acc, s.kffts[k], s.field)
 		s.clock.Charge(simclock.CostConvolution, 1)
 		for i := range gradMask {
 			gradMask[i] += s.field[i]
 		}
 	}
+}
+
+// aerialBackwardFused is the spectral-domain gradient accumulation. The
+// clock still charges one convolution per kernel so deterministic model
+// seconds stay comparable across engine modes.
+func (s *Simulator) aerialBackwardFused(gradI []float64, fields *Fields, gradMask []float64) {
+	acc := s.specAcc
+	for i := range acc {
+		acc[i] = 0
+	}
+	if s.workers > 1 && len(s.bank) > 1 {
+		s.ensurePar()
+		s.pool.Map(len(s.bank), func(lane, k int) {
+			ln := s.lanes[lane]
+			w := s.bank[k].Weight
+			amp := fields.Amp[k]
+			for i := range ln.acc {
+				ln.acc[i] = 2 * w * gradI[i] * amp[i]
+			}
+			spec := s.plan.ForwardInto(ln.fs, ln.acc)
+			ks := s.kspec[k]
+			kf := s.kffts[k]
+			for i := range ks {
+				c := kf[i]
+				ks[i] = spec[i] * complex(real(c), -imag(c))
+			}
+			s.clock.Charge(simclock.CostConvolution, 1)
+		})
+		// Reduce in fixed kernel order: the same per-bin additions, in the
+		// same sequence, as the serial accumulation below.
+		for k := range s.bank {
+			ks := s.kspec[k]
+			for i := range acc {
+				acc[i] += ks[i]
+			}
+		}
+	} else {
+		for k := range s.bank {
+			w := s.bank[k].Weight
+			amp := fields.Amp[k]
+			for i := range s.acc {
+				s.acc[i] = 2 * w * gradI[i] * amp[i]
+			}
+			spec := s.plan.ForwardInto(s.fs, s.acc)
+			fft.AccumulateConj(acc, spec, s.kffts[k])
+			s.clock.Charge(simclock.CostConvolution, 1)
+		}
+	}
+	s.plan.InverseSpec(s.fs, acc, gradMask)
 }
 
 // Resist applies the constant-threshold resist sigmoid (Eq. 2) to an aerial

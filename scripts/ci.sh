@@ -16,3 +16,13 @@ go build ./...
 go test -timeout 300s ./...
 go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject ./internal/artifact ./internal/model
 go test -run='^$' -fuzz='^FuzzReadGDS$' -fuzztime=10s ./internal/gds
+
+# Spectral-engine gates: alloc-regression tests on the ILT hot path, a
+# 100-iteration FFT benchmark smoke (both engines), and a deadline-bounded
+# quick A/B bench writing outside the tree so the clean-tree guard stays
+# meaningful on reruns.
+go test -timeout 120s -run='ZeroAlloc|SteadyStateAllocs|HotPathZeroAlloc' ./internal/fft ./internal/litho ./internal/ilt
+go test -run='^$' -bench='^BenchmarkFFT' -benchtime=100x ./internal/fft
+tmpout="$(mktemp -d)"
+trap 'rm -rf "$tmpout"' EXIT
+go run ./cmd/ldmo-bench -exp fftbench -fast -deadline 120s -out "$tmpout"
