@@ -13,6 +13,8 @@
 //	                                  # emits BENCH_parallel.json
 //	ldmo-bench -exp fftbench          # complex-vs-real spectral engine A/B,
 //	                                  # emits BENCH_fft.json
+//	ldmo-bench -exp nnbench           # naive-vs-blocked NN compute core A/B,
+//	                                  # emits BENCH_nn.json
 //	ldmo-bench -exp all               # everything
 //
 // Flags:
@@ -24,6 +26,8 @@
 //	-out DIR       output directory for fig7 images / BENCH_*.json
 //	-workers N     parallel worker lanes (0 = GOMAXPROCS, honoring
 //	               LDMO_WORKERS)
+//	-cpuprofile F  write a CPU profile of the run to F
+//	-memprofile F  write a heap profile at exit to F
 //	-q             suppress progress logging
 package main
 
@@ -40,19 +44,28 @@ import (
 	"ldmo/internal/artifact"
 	"ldmo/internal/experiments"
 	"ldmo/internal/model"
+	"ldmo/internal/prof"
 	"ldmo/internal/runx"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, nnbench, all")
 	fast := flag.Bool("fast", false, "coarse raster and reduced training budget")
 	modelPath := flag.String("model", "", "path to a trained predictor (optional)")
 	seed := flag.Int64("seed", 1, "random seed")
 	outDir := flag.String("out", "", "output directory for fig7 images and BENCH_*.json")
 	workers := flag.Int("workers", 0, "parallel worker lanes (0 = GOMAXPROCS / LDMO_WORKERS)")
 	deadline := flag.Duration("deadline", 0, "abandon remaining work after this wall time, e.g. 30m")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,7 +105,7 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench":
+	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench", "nnbench":
 		run(*exp)
 	default:
 		fatalf("unknown experiment %q", *exp)
@@ -156,6 +169,23 @@ func runExperiment(name string, opt experiments.Options, outDir string, w io.Wri
 		}
 		b.Render(w)
 		path := "BENCH_fft.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(outDir, path)
+		}
+		if err := b.WriteJSON(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	case "nnbench":
+		b, err := experiments.RunNNBench(opt)
+		if err != nil {
+			return err
+		}
+		b.Render(w)
+		path := "BENCH_nn.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

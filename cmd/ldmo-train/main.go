@@ -30,6 +30,7 @@ import (
 	"ldmo/internal/artifact"
 	"ldmo/internal/layout"
 	"ldmo/internal/model"
+	"ldmo/internal/prof"
 	"ldmo/internal/runx"
 	"ldmo/internal/sampling"
 )
@@ -50,8 +51,16 @@ func main() {
 	ckptDir := flag.String("checkpoint", "", "directory for labeling shards and training state")
 	resume := flag.Bool("resume", false, "continue from an existing -checkpoint directory")
 	deadline := flag.Duration("deadline", 0, "stop (checkpointing if enabled) after this wall time, e.g. 30m")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

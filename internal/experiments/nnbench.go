@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"ldmo/internal/geom"
+	"ldmo/internal/grid"
+	"ldmo/internal/model"
+	"ldmo/internal/nn"
+	"ldmo/internal/tensor"
+)
+
+// NNBenchOp is one before/after measurement of the NN compute core: the same
+// operation timed under the naive reference kernels (LDMO_GEMM=naive) and
+// the blocked/packed engine.
+type NNBenchOp struct {
+	// NaiveNs and BlockedNs are ns/op under each engine; Speedup is their
+	// ratio (naive/blocked, >1 means the overhaul won).
+	NaiveNs   float64 `json:"naive_ns_op"`
+	BlockedNs float64 `json:"blocked_ns_op"`
+	Speedup   float64 `json:"speedup"`
+	// Reps is how many iterations each timing loop completed (quick mode
+	// and deadlines shrink it; it never reaches 0 on a completed bench).
+	Reps int `json:"reps"`
+}
+
+// NNBench is the machine-readable record cmd/ldmo-bench writes to
+// BENCH_nn.json: the A/B comparison of the NN compute-core overhaul
+// (blocked GEMM + whole-batch im2col + folded inference path).
+type NNBench struct {
+	// InputSize is the predictor input edge for the Predict measurements;
+	// TrainSize/TrainBatch describe the training-step measurement. The
+	// comparison is algorithmic: GEMM worker lanes stay at 1.
+	InputSize  int  `json:"input_size"`
+	TrainSize  int  `json:"train_size"`
+	TrainBatch int  `json:"train_batch"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	Quick      bool `json:"quick"`
+
+	// Predict1/Predict8 are full predictor inferences (folded network)
+	// at batch 1 and batch 8; TrainStep is one forward+loss+backward+Adam
+	// step of the reduced topology.
+	Predict1  NNBenchOp `json:"predict_batch1"`
+	Predict8  NNBenchOp `json:"predict_batch8"`
+	TrainStep NNBenchOp `json:"train_step"`
+
+	// GEMMStem/GEMMMid are the isolated layer-shaped kernels: the stem
+	// convolution's 8 x 49 x (112*112) product and a mid-stage
+	// 48 x 288 x 784 product.
+	GEMMStem NNBenchOp `json:"gemm_stem"`
+	GEMMMid  NNBenchOp `json:"gemm_mid"`
+
+	// ForwardAllocs is the steady-state allocation count of one inference
+	// forward through the folded network — the zero-alloc contract,
+	// re-proven on every bench run.
+	ForwardAllocs float64 `json:"inference_forward_allocs_op"`
+}
+
+// withGEMMMode runs fn with LDMO_GEMM set to mode (empty = blocked default),
+// restoring the previous value. The engine is read per call, so no state
+// needs rebuilding between modes.
+func withGEMMMode(mode string, fn func() error) error {
+	prev, had := os.LookupEnv(tensor.EnvGEMM)
+	if mode == "" {
+		os.Unsetenv(tensor.EnvGEMM)
+	} else {
+		os.Setenv(tensor.EnvGEMM, mode)
+	}
+	defer func() {
+		if had {
+			os.Setenv(tensor.EnvGEMM, prev)
+		} else {
+			os.Unsetenv(tensor.EnvGEMM)
+		}
+	}()
+	return fn()
+}
+
+// nnBenchConfig is the paper-resolution predictor at CPU-scale widths: full
+// 224x224 inputs (the dominant GEMM shapes of ResNet-18's stem and early
+// stages) with the reduced channel counts the experiments train.
+func nnBenchConfig(inputSize int) model.Config {
+	return model.Config{
+		InputSize:     inputSize,
+		StemChannels:  8,
+		StageBlocks:   [4]int{1, 1, 1, 1},
+		StageChannels: [4]int{8, 16, 32, 48},
+		HiddenDim:     64,
+		Seed:          1,
+	}
+}
+
+// RunNNBench measures the NN compute core A/B: predictor inference at batch
+// 1 and 8, one training step, and the two dominant GEMM shapes, each under
+// the naive reference kernels and the blocked engine, plus the steady-state
+// allocation count of the folded inference forward.
+func RunNNBench(o Options) (NNBench, error) {
+	ctx := o.context()
+	out := NNBench{
+		InputSize:  224,
+		TrainSize:  64,
+		TrainBatch: 16,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      o.Fast,
+	}
+	predReps, trainReps, gemmReps := 10, 10, 30
+	if o.Fast {
+		out.InputSize = 64
+		out.TrainBatch = 8
+		predReps, trainReps, gemmReps = 3, 3, 8
+	}
+
+	// Predictor inference through the folded replicas. The frozen cache is
+	// engine-independent (folding touches weights, not GEMM calls), so one
+	// predictor serves both modes.
+	pred, err := model.New(nnBenchConfig(out.InputSize))
+	if err != nil {
+		return out, err
+	}
+	pred.SetWorkers(1)
+	rng := rand.New(rand.NewSource(o.Seed))
+	mkImgs := func(n int) []*grid.Grid {
+		imgs := make([]*grid.Grid, n)
+		for i := range imgs {
+			g := grid.New(out.InputSize, out.InputSize, 4, geom.Point{})
+			for j := range g.Data {
+				g.Data[j] = rng.Float64()
+			}
+			imgs[i] = g
+		}
+		return imgs
+	}
+	imgs1, imgs8 := mkImgs(1), mkImgs(8)
+	predictOp := func(imgs []*grid.Grid) func() (float64, int, error) {
+		return func() (float64, int, error) {
+			return timeOp(ctx, predReps, func() { pred.PredictBatch(imgs) })
+		}
+	}
+
+	// One training step of the reduced topology on TrainSize inputs.
+	trng := rand.New(rand.NewSource(o.Seed + 1))
+	net := nn.NewNetwork(
+		nn.NewConv2D(trng, 1, 8, 7, 2, 3, false),
+		nn.NewBatchNorm2D(8),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(3, 2, 1),
+		nn.NewBasicBlock(trng, 8, 8, 1),
+		nn.NewBasicBlock(trng, 8, 16, 2),
+		nn.NewBasicBlock(trng, 16, 32, 2),
+		nn.NewBasicBlock(trng, 32, 48, 2),
+		nn.NewGlobalAvgPool(),
+		nn.NewLinear(trng, 48, 64),
+		nn.NewReLU(),
+		nn.NewLinear(trng, 64, 1),
+	)
+	params := net.Params()
+	adam := nn.NewAdam(1e-3)
+	loss := &nn.MAE{}
+	x := tensor.New(out.TrainBatch, 1, out.TrainSize, out.TrainSize)
+	for i := range x.Data {
+		x.Data[i] = trng.Float64()
+	}
+	tgt := tensor.New(out.TrainBatch, 1, 1, 1)
+	trainStep := func() {
+		p := net.Forward(x, true)
+		_, grad := loss.Eval(p, tgt)
+		nn.ZeroGrads(params)
+		net.Backward(grad)
+		adam.Step(params)
+	}
+	trainOp := func() (float64, int, error) { return timeOp(ctx, trainReps, trainStep) }
+
+	// Isolated layer-shaped GEMMs: the stem convolution at 112x112 output
+	// resolution and a mid-stage 3x3 convolution.
+	gemmOp := func(m, k, n int) func() (float64, int, error) {
+		grng := rand.New(rand.NewSource(o.Seed + 2))
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		for i := range a {
+			a[i] = grng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = grng.NormFloat64()
+		}
+		dst := make([]float64, m*n)
+		return func() (float64, int, error) {
+			return timeOp(ctx, gemmReps, func() { tensor.MatMul(a, m, k, b, n, dst) })
+		}
+	}
+
+	measure := func(name string, dst *NNBenchOp, op func() (float64, int, error)) error {
+		var err error
+		if e := withGEMMMode(tensor.ModeNaive, func() error {
+			dst.NaiveNs, dst.Reps, err = op()
+			return err
+		}); e != nil {
+			return fmt.Errorf("%s (naive): %w", name, e)
+		}
+		if e := withGEMMMode("", func() error {
+			dst.BlockedNs, _, err = op()
+			return err
+		}); e != nil {
+			return fmt.Errorf("%s (blocked): %w", name, e)
+		}
+		if dst.BlockedNs > 0 {
+			dst.Speedup = dst.NaiveNs / dst.BlockedNs
+		}
+		o.logf("nnbench %-14s naive %12.0f ns/op  blocked %12.0f ns/op  speedup %.2fx\n",
+			name, dst.NaiveNs, dst.BlockedNs, dst.Speedup)
+		return nil
+	}
+
+	if err := measure("predict-b1", &out.Predict1, predictOp(imgs1)); err != nil {
+		return out, err
+	}
+	if err := measure("predict-b8", &out.Predict8, predictOp(imgs8)); err != nil {
+		return out, err
+	}
+	if err := measure("train-step", &out.TrainStep, trainOp); err != nil {
+		return out, err
+	}
+	if err := measure("gemm-stem", &out.GEMMStem, gemmOp(8, 49, 112*112)); err != nil {
+		return out, err
+	}
+	if err := measure("gemm-mid", &out.GEMMMid, gemmOp(48, 288, 784)); err != nil {
+		return out, err
+	}
+
+	// Steady-state allocation proof on the folded inference path.
+	if err := withGEMMMode("", func() error {
+		frozen := pred.Net.Freeze()
+		xi := tensor.New(1, 1, out.InputSize, out.InputSize)
+		copy(xi.Data, imgs1[0].Data)
+		frozen.Forward(xi, false)
+		frozen.Forward(xi, false)
+		out.ForwardAllocs = testing.AllocsPerRun(3, func() { frozen.Forward(xi, false) })
+		return nil
+	}); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// WriteJSON writes the bench record to path.
+func (b NNBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the human-readable summary.
+func (b NNBench) Render(w io.Writer) {
+	fmt.Fprintln(w, "NN compute core A/B benchmark (naive reference vs blocked engine)")
+	fmt.Fprintf(w, "predict input %dx%d  train %dx%d batch %d  GOMAXPROCS %d  quick %v\n",
+		b.InputSize, b.InputSize, b.TrainSize, b.TrainSize, b.TrainBatch, b.GOMAXPROCS, b.Quick)
+	row := func(name string, op NNBenchOp) {
+		fmt.Fprintf(w, "%-16s naive %12.0f ns/op   blocked %12.0f ns/op   speedup %.2fx\n",
+			name, op.NaiveNs, op.BlockedNs, op.Speedup)
+	}
+	row("Predict batch=1", b.Predict1)
+	row("Predict batch=8", b.Predict8)
+	row("Train step", b.TrainStep)
+	row("GEMM stem", b.GEMMStem)
+	row("GEMM mid", b.GEMMMid)
+	fmt.Fprintf(w, "steady-state allocs/op (folded inference forward): %.1f\n", b.ForwardAllocs)
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"sort"
+	"testing"
+
+	"ldmo/internal/grid"
+	"ldmo/internal/tensor"
+)
+
+// engineTrajectory trains a fresh predictor for two epochs and scores the
+// training images, all under whichever GEMM engine the environment selects.
+type engineTrajectory struct {
+	hist  []float64
+	preds []float64
+	order []int
+}
+
+func runEngineTrajectory(t *testing.T) engineTrajectory {
+	t.Helper()
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := syntheticDataset(16, 5)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.BatchSize = 8
+	hist, err := p.Train(ds, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*grid.Grid, ds.Len())
+	for i := range imgs {
+		imgs[i] = ds.Samples[i].Image
+	}
+	preds := p.PredictBatch(imgs)
+	order := make([]int, len(preds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return preds[order[a]] < preds[order[b]] })
+	return engineTrajectory{hist: hist, preds: preds, order: order}
+}
+
+// TestGEMMEngineGoldenTrajectory is the engine-swap golden: the blocked
+// (default) and naive GEMM engines produce bit-identical training loss
+// trajectories and predictions, so every discrete flow decision ranked on
+// those predictions — candidate selection included — is exactly unchanged.
+func TestGEMMEngineGoldenTrajectory(t *testing.T) {
+	var blocked, naive engineTrajectory
+	t.Run("blocked", func(t *testing.T) {
+		blocked = runEngineTrajectory(t)
+	})
+	t.Run("naive", func(t *testing.T) {
+		t.Setenv(tensor.EnvGEMM, tensor.ModeNaive)
+		naive = runEngineTrajectory(t)
+	})
+	for i := range blocked.hist {
+		if blocked.hist[i] != naive.hist[i] {
+			t.Fatalf("epoch %d loss diverged: %g (blocked) vs %g (naive)", i, blocked.hist[i], naive.hist[i])
+		}
+	}
+	for i := range blocked.preds {
+		if blocked.preds[i] != naive.preds[i] {
+			t.Fatalf("prediction %d diverged: %g (blocked) vs %g (naive)", i, blocked.preds[i], naive.preds[i])
+		}
+	}
+	for i := range blocked.order {
+		if blocked.order[i] != naive.order[i] {
+			t.Fatalf("score ranking diverged at position %d: %d vs %d", i, blocked.order[i], naive.order[i])
+		}
+	}
+}
+
+// TestPredictorCachesReplicasAndPool pins the steady-state inference
+// contract: repeated PredictBatch calls reuse the folded replicas and the
+// lane pool; SetWorkers rebuilds only the pool; weight invalidation drops
+// the replicas so the next call re-folds fresh weights.
+func TestPredictorCachesReplicasAndPool(t *testing.T) {
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetWorkers(2)
+	imgs := make([]*grid.Grid, 4)
+	for i := range imgs {
+		imgs[i] = syntheticDataset(1, int64(i)).Samples[0].Image
+	}
+	p.PredictBatch(imgs)
+	pool, frozen := p.pool, p.frozenNets(1)[0]
+	if pool == nil || frozen == nil {
+		t.Fatal("first PredictBatch did not populate the caches")
+	}
+	p.PredictBatch(imgs)
+	if p.pool != pool {
+		t.Fatal("lane pool rebuilt on a steady-state call")
+	}
+	if p.frozenNets(1)[0] != frozen {
+		t.Fatal("frozen replica rebuilt on a steady-state call")
+	}
+	p.SetWorkers(3)
+	p.PredictBatch(imgs)
+	if p.pool == pool {
+		t.Fatal("SetWorkers did not rebuild the lane pool")
+	}
+	if p.frozenNets(1)[0] != frozen {
+		t.Fatal("SetWorkers needlessly dropped the frozen replicas")
+	}
+	p.invalidateReplicas()
+	p.PredictBatch(imgs)
+	if p.frozenNets(1)[0] == frozen {
+		t.Fatal("invalidation did not drop the frozen replicas")
+	}
+}

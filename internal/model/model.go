@@ -138,10 +138,16 @@ func (c Config) Validate() error {
 
 // Predictor is the trained printability estimator. A Predictor is not safe
 // for concurrent use, but PredictBatch parallelizes internally: the batch is
-// sharded over worker lanes, each lane forwarding through its own replica of
-// the network (nn layers are single-goroutine). Every sample's forward pass
-// is independent of its batchmates (inference-mode batch norm uses running
-// statistics), so sharded scores are bit-identical to the single-batch ones.
+// sharded over worker lanes, each lane forwarding through its own frozen
+// replica of the network (nn layers are single-goroutine). Every sample's
+// forward pass is independent of its batchmates (inference-mode batch norm
+// uses running statistics), so sharded scores are bit-identical to the
+// single-batch ones.
+//
+// Inference runs through nn.Network.Freeze() replicas — deep copies with
+// batch norm folded into the preceding convolutions — built lazily once per
+// weight generation and cached together with the lane pool, so steady-state
+// PredictBatch calls rebuild nothing.
 type Predictor struct {
 	Cfg   Config
 	Net   *nn.Network
@@ -149,7 +155,8 @@ type Predictor struct {
 	clock *simclock.Clock
 
 	workers int           // batch-sharding lanes; 0 = par.Workers()
-	reps    []*nn.Network // lazily built per-lane weight replicas
+	frozen  []*nn.Network // lazily built folded per-lane inference replicas
+	pool    *par.Pool     // cached lane pool, rebuilt when workers changes
 }
 
 // New builds an untrained predictor for the given architecture.
@@ -196,35 +203,32 @@ func (p *Predictor) SetWorkers(n int) {
 		n = 0
 	}
 	p.workers = n
-	p.reps = nil
+	// The frozen replicas stay valid (weights unchanged); only the lane
+	// pool is sized by the worker count.
+	p.pool = nil
 }
 
-// invalidateReplicas drops the per-lane weight copies; called whenever the
-// canonical parameters are about to change.
-func (p *Predictor) invalidateReplicas() { p.reps = nil }
+// invalidateReplicas drops the folded inference replicas; called whenever
+// the canonical parameters are about to change.
+func (p *Predictor) invalidateReplicas() { p.frozen = nil }
 
-// replicaNets returns n-1 lane networks holding copies of the current
-// weights (lane 0 uses p.Net itself), building and caching them on first use.
-func (p *Predictor) replicaNets(n int) ([]*nn.Network, error) {
-	for len(p.reps) < n-1 {
-		r, err := New(p.Cfg)
-		if err != nil {
-			return nil, err
-		}
-		src := p.Net.Params()
-		dst := r.Net.Params()
-		if len(src) != len(dst) {
-			return nil, fmt.Errorf("model: replica parameter mismatch: %d vs %d", len(src), len(dst))
-		}
-		for i := range src {
-			copy(dst[i].Data, src[i].Data)
-		}
-		p.reps = append(p.reps, r.Net)
+// lanePool returns the cached worker pool, building it on first use after a
+// SetWorkers change.
+func (p *Predictor) lanePool() *par.Pool {
+	if p.pool == nil {
+		p.pool = par.NewPool(p.workers)
 	}
-	nets := make([]*nn.Network, n)
-	nets[0] = p.Net
-	copy(nets[1:], p.reps[:n-1])
-	return nets, nil
+	return p.pool
+}
+
+// frozenNets returns n folded inference replicas of the current weights,
+// growing the cache on demand. Replica 0 serves the serial path too, so
+// serial and sharded predictions run the identical folded network.
+func (p *Predictor) frozenNets(n int) []*nn.Network {
+	for len(p.frozen) < n {
+		p.frozen = append(p.frozen, p.Net.Freeze())
+	}
+	return p.frozen[:n]
 }
 
 // imageToTensor packs grayscale images into an N x 1 x S x S batch,
@@ -254,17 +258,13 @@ func (p *Predictor) PredictBatch(imgs []*grid.Grid) []float64 {
 		return nil
 	}
 	p.clock.Charge(simclock.CostCNNInference, len(imgs))
-	pool := par.NewPool(p.workers)
+	pool := p.lanePool()
 	lanes := min(pool.Size(), len(imgs))
 	if lanes > 1 {
-		if nets, err := p.replicaNets(lanes); err == nil {
-			return p.predictSharded(imgs, pool, nets, lanes)
-		}
-		// Replica construction can only fail on a hand-corrupted Cfg;
-		// degrade to the serial path rather than dropping scores.
+		return p.predictSharded(imgs, pool, p.frozenNets(lanes), lanes)
 	}
 	x := p.imageToTensor(imgs)
-	out := p.Net.Forward(x, false)
+	out := p.frozenNets(1)[0].Forward(x, false)
 	scores := make([]float64, len(imgs))
 	copy(scores, out.Data)
 	return scores

@@ -127,9 +127,9 @@ func (p *Predictor) TrainCtx(ctx context.Context, ds *Dataset, tc TrainConfig) (
 	}
 	p.Norm = FitScoreNorm(raw)
 
-	var loss nn.Loss = nn.MAE{}
+	var loss nn.Loss = &nn.MAE{}
 	if tc.UseMSE {
-		loss = nn.MSE{}
+		loss = &nn.MSE{}
 	}
 	adam := nn.NewAdam(tc.LR)
 	rng := rand.New(rand.NewSource(tc.Seed))

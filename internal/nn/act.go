@@ -2,9 +2,12 @@ package nn
 
 import "ldmo/internal/tensor"
 
-// ReLU is the rectified linear activation.
+// ReLU is the rectified linear activation. Its output, gradient, and mask
+// buffers are cached so both passes are allocation-free at steady state.
 type ReLU struct {
 	mask []bool
+	out  *tensor.Tensor
+	gin  *tensor.Tensor
 }
 
 // NewReLU returns a ReLU layer.
@@ -12,30 +15,31 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.NewLike(x)
-	if len(r.mask) < x.Len() {
-		r.mask = make([]bool, x.Len())
-	}
+	r.out = tensor.Ensure(r.out, x.N, x.C, x.H, x.W)
+	r.mask = ensureB(r.mask, x.Len())
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = v
+			r.out.Data[i] = v
 			r.mask[i] = true
 		} else {
+			r.out.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gin := tensor.NewLike(grad)
+	r.gin = tensor.Ensure(r.gin, grad.N, grad.C, grad.H, grad.W)
 	for i, g := range grad.Data {
 		if r.mask[i] {
-			gin.Data[i] = g
+			r.gin.Data[i] = g
+		} else {
+			r.gin.Data[i] = 0
 		}
 	}
-	return gin
+	return r.gin
 }
 
 // Params implements Layer.

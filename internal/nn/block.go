@@ -8,6 +8,8 @@ import (
 
 // BasicBlock is the ResNet-18 residual unit: two 3x3 conv+BN stages with an
 // identity (or 1x1-conv downsample) skip connection and ReLU activations.
+// The batch-norm fields are nil in frozen (inference-folded) blocks, where
+// their statistics have been absorbed into the preceding conv biases.
 type BasicBlock struct {
 	conv1 *Conv2D
 	bn1   *BatchNorm2D
@@ -21,6 +23,8 @@ type BasicBlock struct {
 
 	// forward cache for the final ReLU and the skip add
 	sumMask []bool
+	out     *tensor.Tensor
+	gsum    *tensor.Tensor
 }
 
 // NewBasicBlock builds a residual block mapping inC channels to outC with
@@ -44,27 +48,33 @@ func NewBasicBlock(rng *rand.Rand, inC, outC, stride int) *BasicBlock {
 // Forward implements Layer.
 func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	main := b.conv1.Forward(x, train)
-	main = b.bn1.Forward(main, train)
+	if b.bn1 != nil {
+		main = b.bn1.Forward(main, train)
+	}
 	main = b.relu1.Forward(main, train)
 	main = b.conv2.Forward(main, train)
-	main = b.bn2.Forward(main, train)
+	if b.bn2 != nil {
+		main = b.bn2.Forward(main, train)
+	}
 
 	skip := x
 	if b.downConv != nil {
 		skip = b.downConv.Forward(x, train)
-		skip = b.downBN.Forward(skip, train)
+		if b.downBN != nil {
+			skip = b.downBN.Forward(skip, train)
+		}
 	}
 	// out = relu(main + skip); record the ReLU mask for backward.
-	out := tensor.NewLike(main)
-	if len(b.sumMask) < main.Len() {
-		b.sumMask = make([]bool, main.Len())
-	}
+	b.out = tensor.Ensure(b.out, main.N, main.C, main.H, main.W)
+	out := b.out
+	b.sumMask = ensureB(b.sumMask, main.Len())
 	for i := range main.Data {
 		s := main.Data[i] + skip.Data[i]
 		if s > 0 {
 			out.Data[i] = s
 			b.sumMask[i] = true
 		} else {
+			out.Data[i] = 0
 			b.sumMask[i] = false
 		}
 	}
@@ -74,22 +84,33 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// Through the final ReLU.
-	g := tensor.NewLike(grad)
+	b.gsum = tensor.Ensure(b.gsum, grad.N, grad.C, grad.H, grad.W)
+	g := b.gsum
 	for i := range grad.Data {
 		if b.sumMask[i] {
 			g.Data[i] = grad.Data[i]
+		} else {
+			g.Data[i] = 0
 		}
 	}
 	// Main path.
-	gm := b.bn2.Backward(g)
+	gm := g
+	if b.bn2 != nil {
+		gm = b.bn2.Backward(gm)
+	}
 	gm = b.conv2.Backward(gm)
 	gm = b.relu1.Backward(gm)
-	gm = b.bn1.Backward(gm)
+	if b.bn1 != nil {
+		gm = b.bn1.Backward(gm)
+	}
 	gm = b.conv1.Backward(gm)
 	// Skip path.
 	var gs *tensor.Tensor
 	if b.downConv != nil {
-		gs = b.downBN.Backward(g)
+		gs = g
+		if b.downBN != nil {
+			gs = b.downBN.Backward(gs)
+		}
 		gs = b.downConv.Backward(gs)
 	} else {
 		gs = g
@@ -101,12 +122,18 @@ func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (b *BasicBlock) Params() []*Param {
 	out := append([]*Param{}, b.conv1.Params()...)
-	out = append(out, b.bn1.Params()...)
+	if b.bn1 != nil {
+		out = append(out, b.bn1.Params()...)
+	}
 	out = append(out, b.conv2.Params()...)
-	out = append(out, b.bn2.Params()...)
+	if b.bn2 != nil {
+		out = append(out, b.bn2.Params()...)
+	}
 	if b.downConv != nil {
 		out = append(out, b.downConv.Params()...)
-		out = append(out, b.downBN.Params()...)
+		if b.downBN != nil {
+			out = append(out, b.downBN.Params()...)
+		}
 	}
 	return out
 }

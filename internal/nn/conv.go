@@ -7,19 +7,33 @@ import (
 	"ldmo/internal/tensor"
 )
 
-// Conv2D is a square-kernel 2-D convolution implemented as im2col + matmul.
+// Conv2D is a square-kernel 2-D convolution implemented as whole-batch
+// im2col + one GEMM per pass: the column matrix holds every image's
+// expansion side by side ((InC*K*K) x (N*OH*OW)), so each forward is a
+// single weight x columns product instead of N small ones, and each
+// backward is one A x B^T for dW plus one A^T x B for the column gradient.
 // ResNet-style convolutions carry no bias (batch norm follows them); set
 // withBias for standalone use.
+//
+// All working buffers (column matrix, GEMM output, activations, gradients)
+// are cached on the layer and reused, so Forward and Backward are
+// allocation-free at steady state.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 
 	weight *Param // OutC x (InC*K*K)
 	bias   *Param // OutC, optional
 
-	// forward cache
-	in   *tensor.Tensor
-	cols [][]float64 // per batch item
-	geom tensor.ConvGeom
+	// cached working set, grown once to steady-state size
+	in      *tensor.Tensor
+	geom    tensor.ConvGeom
+	col     []float64 // (InC*K*K) x (N*OH*OW) whole-batch column matrix
+	gemmOut []float64 // OutC x (N*OH*OW) forward product, pre-permute
+	gbuf    []float64 // OutC x (N*OH*OW) permuted output gradient
+	gcol    []float64 // column-space gradient
+	gradW   []float64 // per-pass dW before accumulation into weight.Grad
+	out     *tensor.Tensor
+	gin     *tensor.Tensor
 }
 
 // NewConv2D builds a convolution layer with He-initialized weights.
@@ -47,35 +61,37 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: conv output empty for input %s", x.ShapeString()))
 	}
-	out := tensor.New(x.N, c.OutC, oh, ow)
 	ck := c.InC * c.K * c.K
 	cols := oh * ow
-	if cap(c.cols) < x.N {
-		c.cols = make([][]float64, x.N)
-	}
-	c.cols = c.cols[:x.N]
-	imgLen := c.InC * x.H * x.W
+	bcols := x.N * cols
+
+	c.col = ensureF(c.col, ck*bcols)
+	tensor.Im2ColBatch(x.Data, x.N, c.geom, c.col)
+	c.gemmOut = ensureF(c.gemmOut, c.OutC*bcols)
+	tensor.MatMul(c.weight.Data, c.OutC, ck, c.col, bcols, c.gemmOut)
+
+	// Permute OutC x (N*cols) back to NCHW, fusing the bias add.
+	c.out = tensor.Ensure(c.out, x.N, c.OutC, oh, ow)
 	outLen := c.OutC * cols
-	for n := 0; n < x.N; n++ {
-		if len(c.cols[n]) < ck*cols {
-			c.cols[n] = make([]float64, ck*cols)
+	for oc := 0; oc < c.OutC; oc++ {
+		b := 0.0
+		if c.bias != nil {
+			b = c.bias.Data[oc]
 		}
-		col := c.cols[n]
-		tensor.Im2Col(x.Data[n*imgLen:(n+1)*imgLen], c.geom, col)
-		tensor.MatMul(c.weight.Data, c.OutC, ck, col, cols, out.Data[n*outLen:(n+1)*outLen])
-	}
-	if c.bias != nil {
+		src := c.gemmOut[oc*bcols : (oc+1)*bcols]
 		for n := 0; n < x.N; n++ {
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.bias.Data[oc]
-				base := n*outLen + oc*cols
-				for i := 0; i < cols; i++ {
-					out.Data[base+i] += b
+			dst := c.out.Data[n*outLen+oc*cols : n*outLen+(oc+1)*cols]
+			s := src[n*cols : (n+1)*cols]
+			if c.bias != nil {
+				for i, v := range s {
+					dst[i] = v + b
 				}
+			} else {
+				copy(dst, s)
 			}
 		}
 	}
-	return out
+	return c.out
 }
 
 // Backward implements Layer.
@@ -84,33 +100,43 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	oh, ow := c.geom.OutH(), c.geom.OutW()
 	cols := oh * ow
 	ck := c.InC * c.K * c.K
+	bcols := x.N * cols
 	outLen := c.OutC * cols
-	imgLen := c.InC * x.H * x.W
 
-	gin := tensor.NewLike(x)
-	gradW := make([]float64, len(c.weight.Data))
-	gcol := make([]float64, ck*cols)
-	for n := 0; n < x.N; n++ {
-		g := grad.Data[n*outLen : (n+1)*outLen]
-		// dW += gradOut x col^T
-		tensor.MatMulABT(g, c.OutC, cols, c.cols[n], ck, gradW)
-		for i := range gradW {
-			c.weight.Grad[i] += gradW[i]
-		}
-		// dCol = W^T x gradOut, then scatter back to image space.
-		tensor.MatMulATB(c.weight.Data, c.OutC, ck, g, cols, gcol)
-		tensor.Col2Im(gcol, c.geom, gin.Data[n*imgLen:(n+1)*imgLen])
-		if c.bias != nil {
-			for oc := 0; oc < c.OutC; oc++ {
-				s := 0.0
-				for i := 0; i < cols; i++ {
-					s += g[oc*cols+i]
-				}
-				c.bias.Grad[oc] += s
-			}
+	// Permute the NCHW output gradient to OutC x (N*cols) to match the
+	// column matrix, then take both backward products in one GEMM each.
+	c.gbuf = ensureF(c.gbuf, c.OutC*bcols)
+	for oc := 0; oc < c.OutC; oc++ {
+		dst := c.gbuf[oc*bcols : (oc+1)*bcols]
+		for n := 0; n < x.N; n++ {
+			copy(dst[n*cols:(n+1)*cols], grad.Data[n*outLen+oc*cols:n*outLen+(oc+1)*cols])
 		}
 	}
-	return gin
+
+	// dW = gradOut x col^T over the whole batch at once.
+	c.gradW = ensureF(c.gradW, len(c.weight.Data))
+	tensor.MatMulABT(c.gbuf, c.OutC, bcols, c.col, ck, c.gradW)
+	for i, g := range c.gradW {
+		c.weight.Grad[i] += g
+	}
+
+	// dCol = W^T x gradOut, scattered back to image space per batch item.
+	c.gcol = ensureF(c.gcol, ck*bcols)
+	tensor.MatMulATB(c.weight.Data, c.OutC, ck, c.gbuf, bcols, c.gcol)
+	c.gin = tensor.Ensure(c.gin, x.N, x.C, x.H, x.W)
+	tensor.Col2ImBatch(c.gcol, x.N, c.geom, c.gin.Data)
+
+	if c.bias != nil {
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			row := c.gbuf[oc*bcols : (oc+1)*bcols]
+			for _, g := range row {
+				s += g
+			}
+			c.bias.Grad[oc] += s
+		}
+	}
+	return c.gin
 }
 
 // Params implements Layer.

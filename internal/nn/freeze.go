@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Freeze returns an independent inference-only copy of the network with
+// every BatchNorm2D folded into the convolution it follows: with running
+// statistics fixed, y = gamma*(conv(x)+b-mean)/sqrt(var+eps) + beta is an
+// affine function of the conv output, so scaling each output channel's
+// weights by s = gamma/sqrt(var+eps) and setting the bias to
+// beta + s*(b-mean) reproduces it in a single conv. The copy shares no
+// state with the original (safe to run concurrently with it and with other
+// copies) and halves the per-layer memory passes at inference.
+//
+// Folding changes rounding (the scale is applied to weights once instead of
+// to activations per element), so frozen outputs agree with the source
+// network's inference outputs to relative rounding error, not bitwise.
+func (n *Network) Freeze() *Network {
+	return &Network{Seq: NewSequential(freezeLayers(n.Seq.Layers)...)}
+}
+
+// freezeLayers maps a layer stack to its inference form, consuming each
+// BatchNorm2D that directly follows a Conv2D.
+func freezeLayers(layers []Layer) []Layer {
+	out := make([]Layer, 0, len(layers))
+	for i := 0; i < len(layers); i++ {
+		if conv, ok := layers[i].(*Conv2D); ok && i+1 < len(layers) {
+			if bn, ok := layers[i+1].(*BatchNorm2D); ok {
+				out = append(out, foldConvBN(conv, bn))
+				i++
+				continue
+			}
+		}
+		out = append(out, freezeLayer(layers[i]))
+	}
+	return out
+}
+
+func freezeLayer(l Layer) Layer {
+	switch v := l.(type) {
+	case *Conv2D:
+		return cloneConv(v)
+	case *BatchNorm2D:
+		return cloneBN(v)
+	case *ReLU:
+		return NewReLU()
+	case *MaxPool2D:
+		return NewMaxPool2D(v.K, v.Stride, v.Pad)
+	case *GlobalAvgPool:
+		return NewGlobalAvgPool()
+	case *Linear:
+		return cloneLinear(v)
+	case *BasicBlock:
+		return v.freeze()
+	case *Sequential:
+		return NewSequential(freezeLayers(v.Layers)...)
+	default:
+		panic(fmt.Sprintf("nn: cannot freeze layer %T", l))
+	}
+}
+
+// freeze folds both conv+BN stages of the block (and the downsample pair);
+// the frozen block's bn fields are nil and Forward/Backward skip them.
+func (b *BasicBlock) freeze() *BasicBlock {
+	nb := &BasicBlock{
+		conv1: foldConvBN(b.conv1, b.bn1),
+		relu1: NewReLU(),
+		conv2: foldConvBN(b.conv2, b.bn2),
+	}
+	if b.downConv != nil {
+		nb.downConv = foldConvBN(b.downConv, b.downBN)
+	}
+	return nb
+}
+
+// foldConvBN returns an independent conv whose weights and bias absorb the
+// batch norm's inference affine transform. A nil bn yields a plain clone
+// (so freezing an already-frozen stack is a no-op copy).
+func foldConvBN(c *Conv2D, bn *BatchNorm2D) *Conv2D {
+	nc := cloneConv(c)
+	if bn == nil {
+		return nc
+	}
+	if nc.bias == nil {
+		nc.bias = newParam("conv.bias", nc.OutC)
+	}
+	rowLen := nc.InC * nc.K * nc.K
+	for oc := 0; oc < nc.OutC; oc++ {
+		s := bn.gamma.Data[oc] / math.Sqrt(bn.runVar.Data[oc]+bn.Eps)
+		row := nc.weight.Data[oc*rowLen : (oc+1)*rowLen]
+		for i := range row {
+			row[i] *= s
+		}
+		nc.bias.Data[oc] = bn.beta.Data[oc] + s*(nc.bias.Data[oc]-bn.runMean.Data[oc])
+	}
+	return nc
+}
+
+func cloneConv(c *Conv2D) *Conv2D {
+	nc := &Conv2D{InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad}
+	nc.weight = newParam("conv.weight", len(c.weight.Data))
+	copy(nc.weight.Data, c.weight.Data)
+	if c.bias != nil {
+		nc.bias = newParam("conv.bias", len(c.bias.Data))
+		copy(nc.bias.Data, c.bias.Data)
+	}
+	return nc
+}
+
+func cloneBN(bn *BatchNorm2D) *BatchNorm2D {
+	nb := NewBatchNorm2D(bn.C)
+	nb.Eps, nb.Momentum = bn.Eps, bn.Momentum
+	copy(nb.gamma.Data, bn.gamma.Data)
+	copy(nb.beta.Data, bn.beta.Data)
+	copy(nb.runMean.Data, bn.runMean.Data)
+	copy(nb.runVar.Data, bn.runVar.Data)
+	return nb
+}
+
+func cloneLinear(l *Linear) *Linear {
+	nl := &Linear{In: l.In, Out: l.Out}
+	nl.weight = newParam("linear.weight", len(l.weight.Data))
+	copy(nl.weight.Data, l.weight.Data)
+	nl.bias = newParam("linear.bias", len(l.bias.Data))
+	copy(nl.bias.Data, l.bias.Data)
+	return nl
+}

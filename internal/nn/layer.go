@@ -48,6 +48,31 @@ type Layer interface {
 	Params() []*Param
 }
 
+// ensureF returns s resized to n elements, reallocating only on capacity
+// growth. Contents are unspecified; callers overwrite or zero what they
+// read. Layers use it (with tensor.Ensure) to keep Forward/Backward
+// allocation-free once buffers reach their steady-state size.
+func ensureF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func ensureI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func ensureB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
 // heInit fills w with Kaiming-normal values for fanIn inputs.
 func heInit(rng *rand.Rand, w []float64, fanIn int) {
 	std := math.Sqrt(2 / float64(fanIn))

@@ -10,20 +10,24 @@ import (
 // the predictions.
 type Loss interface {
 	// Eval returns the loss value and dL/dpred. pred and target must have
-	// identical shapes.
+	// identical shapes. The gradient tensor is owned by the loss and reused
+	// across calls.
 	Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor)
 }
 
 // MAE is the mean absolute error, the paper's Eq. 10 cost function chosen
 // for robustness against label noise from the ILT scoring.
-type MAE struct{}
+type MAE struct {
+	grad *tensor.Tensor
+}
 
 // Eval implements Loss. The subgradient at zero is 0.
-func (MAE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+func (l *MAE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if !pred.SameShape(target) {
 		panic("nn: MAE shape mismatch")
 	}
-	grad := tensor.NewLike(pred)
+	l.grad = tensor.Ensure(l.grad, pred.N, pred.C, pred.H, pred.W)
+	grad := l.grad
 	n := float64(pred.Len())
 	sum := 0.0
 	for i := range pred.Data {
@@ -34,20 +38,25 @@ func (MAE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 			grad.Data[i] = 1 / n
 		case d < 0:
 			grad.Data[i] = -1 / n
+		default:
+			grad.Data[i] = 0
 		}
 	}
 	return sum / n, grad
 }
 
 // MSE is the mean squared error, used as the ablation alternative to MAE.
-type MSE struct{}
+type MSE struct {
+	grad *tensor.Tensor
+}
 
 // Eval implements Loss.
-func (MSE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+func (l *MSE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if !pred.SameShape(target) {
 		panic("nn: MSE shape mismatch")
 	}
-	grad := tensor.NewLike(pred)
+	l.grad = tensor.Ensure(l.grad, pred.N, pred.C, pred.H, pred.W)
+	grad := l.grad
 	n := float64(pred.Len())
 	sum := 0.0
 	for i := range pred.Data {

@@ -254,7 +254,7 @@ func TestMAELoss(t *testing.T) {
 	tgt := tensor.New(1, 1, 1, 4)
 	copy(pred.Data, []float64{1, 2, 3, 4})
 	copy(tgt.Data, []float64{2, 2, 1, 4})
-	v, grad := MAE{}.Eval(pred, tgt)
+	v, grad := (&MAE{}).Eval(pred, tgt)
 	if math.Abs(v-(1+0+2+0)/4.0) > 1e-12 {
 		t.Fatalf("MAE = %g", v)
 	}
@@ -271,7 +271,7 @@ func TestMSELoss(t *testing.T) {
 	tgt := tensor.New(1, 1, 1, 2)
 	copy(pred.Data, []float64{3, 0})
 	copy(tgt.Data, []float64{1, 0})
-	v, grad := MSE{}.Eval(pred, tgt)
+	v, grad := (&MSE{}).Eval(pred, tgt)
 	if v != 2 {
 		t.Fatalf("MSE = %g", v)
 	}
@@ -330,7 +330,7 @@ func TestNetworkTrainsSmallRegression(t *testing.T) {
 			tgt.Data[n] = s / 64 * 2
 		}
 		pred := net.Forward(x, true)
-		loss, grad := MSE{}.Eval(pred, tgt)
+		loss, grad := (&MSE{}).Eval(pred, tgt)
 		ZeroGrads(net.Params())
 		net.Backward(grad)
 		adam.Step(net.Params())

@@ -18,6 +18,7 @@ type BatchNorm2D struct {
 	xhat                 []float64
 	invStd, batchMean    []float64
 	in                   *tensor.Tensor
+	out, gin             *tensor.Tensor
 	lastTrain            bool
 	cachedPerChannelSize int
 }
@@ -47,14 +48,11 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	hw := x.H * x.W
 	m := x.N * hw
 	bn.cachedPerChannelSize = m
-	out := tensor.NewLike(x)
-	if len(bn.xhat) < x.Len() {
-		bn.xhat = make([]float64, x.Len())
-	}
-	if len(bn.invStd) < bn.C {
-		bn.invStd = make([]float64, bn.C)
-		bn.batchMean = make([]float64, bn.C)
-	}
+	bn.out = tensor.Ensure(bn.out, x.N, x.C, x.H, x.W)
+	out := bn.out
+	bn.xhat = ensureF(bn.xhat, x.Len())
+	bn.invStd = ensureF(bn.invStd, bn.C)
+	bn.batchMean = ensureF(bn.batchMean, bn.C)
 	for c := 0; c < bn.C; c++ {
 		var mean, varv float64
 		if train {
@@ -107,7 +105,8 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := bn.in
 	hw := x.H * x.W
 	m := float64(bn.cachedPerChannelSize)
-	gin := tensor.NewLike(x)
+	bn.gin = tensor.Ensure(bn.gin, x.N, x.C, x.H, x.W)
+	gin := bn.gin
 	for c := 0; c < bn.C; c++ {
 		g := bn.gamma.Data[c]
 		inv := bn.invStd[c]

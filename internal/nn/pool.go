@@ -13,6 +13,8 @@ type MaxPool2D struct {
 
 	in     *tensor.Tensor
 	argmax []int // input index chosen per output element
+	out    *tensor.Tensor
+	gin    *tensor.Tensor
 	outH   int
 	outW   int
 }
@@ -30,10 +32,9 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p.in = x
 	p.outH = (x.H+2*p.Pad-p.K)/p.Stride + 1
 	p.outW = (x.W+2*p.Pad-p.K)/p.Stride + 1
-	out := tensor.New(x.N, x.C, p.outH, p.outW)
-	if len(p.argmax) < out.Len() {
-		p.argmax = make([]int, out.Len())
-	}
+	p.out = tensor.Ensure(p.out, x.N, x.C, p.outH, p.outW)
+	out := p.out
+	p.argmax = ensureI(p.argmax, out.Len())
 	oi := 0
 	for n := 0; n < x.N; n++ {
 		for c := 0; c < x.C; c++ {
@@ -70,7 +71,11 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gin := tensor.NewLike(p.in)
+	p.gin = tensor.Ensure(p.gin, p.in.N, p.in.C, p.in.H, p.in.W)
+	gin := p.gin
+	for i := range gin.Data {
+		gin.Data[i] = 0
+	}
 	for i := 0; i < grad.Len(); i++ {
 		if idx := p.argmax[i]; idx >= 0 {
 			gin.Data[idx] += grad.Data[i]
@@ -85,6 +90,8 @@ func (p *MaxPool2D) Params() []*Param { return nil }
 // GlobalAvgPool reduces each channel plane to its mean (N,C,H,W -> N,C,1,1).
 type GlobalAvgPool struct {
 	inH, inW int
+	out      *tensor.Tensor
+	gin      *tensor.Tensor
 }
 
 // NewGlobalAvgPool returns a global average pooling layer.
@@ -93,7 +100,8 @@ func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 // Forward implements Layer.
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p.inH, p.inW = x.H, x.W
-	out := tensor.New(x.N, x.C, 1, 1)
+	p.out = tensor.Ensure(p.out, x.N, x.C, 1, 1)
+	out := p.out
 	hw := x.H * x.W
 	for nc := 0; nc < x.N*x.C; nc++ {
 		s := 0.0
@@ -107,7 +115,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gin := tensor.New(grad.N, grad.C, p.inH, p.inW)
+	p.gin = tensor.Ensure(p.gin, grad.N, grad.C, p.inH, p.inW)
+	gin := p.gin
 	hw := p.inH * p.inW
 	inv := 1 / float64(hw)
 	for nc := 0; nc < grad.N*grad.C; nc++ {

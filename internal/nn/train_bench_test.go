@@ -36,7 +36,7 @@ func BenchmarkTinyNetStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pred := net.Forward(x, true)
-		_, grad := MAE{}.Eval(pred, tgt)
+		_, grad := (&MAE{}).Eval(pred, tgt)
 		ZeroGrads(net.Params())
 		net.Backward(grad)
 		adam.Step(net.Params())

@@ -1,0 +1,136 @@
+// AVX kernels for the blocked GEMM engine. Vector lanes always map to
+// DIFFERENT output elements (four adjacent output columns), never to the
+// k-dimension, and products use separate VMULPD/VADDPD (no FMA): each output
+// element therefore accumulates its k-products one at a time, in ascending-k
+// order, with exactly the scalar mul-then-add rounding — which is what keeps
+// the SIMD engine bit-identical to the naive reference kernels.
+
+#include "textflag.h"
+
+// func cpuidAVX() bool
+//
+// Reports AVX support: CPUID.1:ECX has OSXSAVE (bit 27) and AVX (bit 28),
+// and XCR0 confirms the OS saves XMM+YMM state.
+TEXT ·cpuidAVX(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	XORQ CX, CX
+	CPUID
+	MOVQ CX, R8
+	SHRQ $27, R8
+	ANDQ $1, R8        // OSXSAVE
+	MOVQ CX, R9
+	SHRQ $28, R9
+	ANDQ $1, R9        // AVX
+	ANDQ R9, R8
+	JZ   noavx
+	XORL CX, CX
+	XGETBV
+	ANDQ $6, AX        // XCR0 bits 1..2: XMM and YMM state enabled
+	CMPQ AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func kern4AVX(apack, bpack, c0, c1, c2, c3 *float64, kc, vecBytes, rowBytes int)
+//
+// The packed-panel micro-kernel: for kk in [0, kc), broadcast the four
+// packed A values apack[kk*4+r] and accumulate c_r[j] += a_r * b[kk][j]
+// over the first vecBytes/8 columns of each row, four columns per vector.
+// bpack rows are rowBytes apart (the panel may be wider than the
+// vectorized prefix; the Go caller handles the 1..3-column tail).
+TEXT ·kern4AVX(SB), NOSPLIT, $0-72
+	MOVQ apack+0(FP), AX
+	MOVQ bpack+8(FP), BX
+	MOVQ c0+16(FP), R8
+	MOVQ c1+24(FP), R9
+	MOVQ c2+32(FP), R10
+	MOVQ c3+40(FP), R11
+	MOVQ kc+48(FP), CX
+	MOVQ vecBytes+56(FP), DX
+	MOVQ rowBytes+64(FP), R12
+kkloop:
+	TESTQ CX, CX
+	JZ    done
+	VBROADCASTSD 0(AX), Y0
+	VBROADCASTSD 8(AX), Y1
+	VBROADCASTSD 16(AX), Y2
+	VBROADCASTSD 24(AX), Y3
+	XORQ SI, SI
+jloop:
+	CMPQ SI, DX
+	JGE  jdone
+	VMOVUPD (BX)(SI*1), Y4
+	VMULPD  Y4, Y0, Y5
+	VADDPD  (R8)(SI*1), Y5, Y5
+	VMOVUPD Y5, (R8)(SI*1)
+	VMULPD  Y4, Y1, Y6
+	VADDPD  (R9)(SI*1), Y6, Y6
+	VMOVUPD Y6, (R9)(SI*1)
+	VMULPD  Y4, Y2, Y7
+	VADDPD  (R10)(SI*1), Y7, Y7
+	VMOVUPD Y7, (R10)(SI*1)
+	VMULPD  Y4, Y3, Y8
+	VADDPD  (R11)(SI*1), Y8, Y8
+	VMOVUPD Y8, (R11)(SI*1)
+	ADDQ $32, SI
+	JMP  jloop
+jdone:
+	ADDQ $32, AX
+	ADDQ R12, BX
+	DECQ CX
+	JMP  kkloop
+done:
+	VZEROUPPER
+	RET
+
+// func dot4x4AVX(a0, a1, a2, a3, bpack *float64, k int, o0, o1, o2, o3 *float64)
+//
+// The A x B^T register tile: four rows of A against four interleaved rows
+// of B (bpack[kk*4+s] = B[j0+s][kk]). Accumulator lane (r, s) sums
+// a_r[kk] * b_{j0+s}[kk] for ascending kk, entirely in registers, then the
+// four-wide rows are stored to o_r.
+TEXT ·dot4x4AVX(SB), NOSPLIT, $0-80
+	MOVQ a0+0(FP), AX
+	MOVQ a1+8(FP), BX
+	MOVQ a2+16(FP), R8
+	MOVQ a3+24(FP), R9
+	MOVQ bpack+32(FP), R10
+	MOVQ k+40(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ SI, SI
+kloop:
+	CMPQ SI, CX
+	JGE  store
+	VMOVUPD (R10), Y4
+	ADDQ $32, R10
+	VBROADCASTSD (AX)(SI*8), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VBROADCASTSD (BX)(SI*8), Y6
+	VMULPD Y4, Y6, Y6
+	VADDPD Y6, Y1, Y1
+	VBROADCASTSD (R8)(SI*8), Y7
+	VMULPD Y4, Y7, Y7
+	VADDPD Y7, Y2, Y2
+	VBROADCASTSD (R9)(SI*8), Y8
+	VMULPD Y4, Y8, Y8
+	VADDPD Y8, Y3, Y3
+	INCQ SI
+	JMP  kloop
+store:
+	MOVQ o0+48(FP), DX
+	VMOVUPD Y0, (DX)
+	MOVQ o1+56(FP), DX
+	VMOVUPD Y1, (DX)
+	MOVQ o2+64(FP), DX
+	VMOVUPD Y2, (DX)
+	MOVQ o3+72(FP), DX
+	VMOVUPD Y3, (DX)
+	VZEROUPPER
+	RET

@@ -1,7 +1,12 @@
 // Package tensor provides the dense NCHW tensors and the matrix/convolution
-// primitives (matmul, im2col/col2im) underneath the neural-network layers of
-// the printability predictor. Everything is float64 and single-threaded;
-// batch-level parallelism lives in the training loop, not here.
+// primitives (GEMM, im2col/col2im) underneath the neural-network layers of
+// the printability predictor. Everything is float64. The default matrix
+// engine is the cache-blocked, panel-packed GEMM in gemm.go; LDMO_GEMM=naive
+// selects the original reference loops, and both engines accumulate every
+// output element in ascending-k order so they agree bit for bit on finite
+// inputs. The kernels are serial unless SetWorkers enables the row-parallel
+// (and still bit-identical) blocked drivers; batch-level parallelism lives
+// in the callers.
 package tensor
 
 import (
@@ -27,6 +32,21 @@ func New(n, c, h, w int) *Tensor {
 
 // NewLike returns a zero tensor with t's shape.
 func NewLike(t *Tensor) *Tensor { return New(t.N, t.C, t.H, t.W) }
+
+// Ensure returns a tensor of the given shape, reusing t's backing storage
+// when its capacity suffices (t may be nil). Contents are unspecified:
+// callers either overwrite every element or call Zero explicitly. This is
+// the cap-checked scratch primitive behind the zero-alloc layer caches in
+// internal/nn.
+func Ensure(t *Tensor, n, c, h, w int) *Tensor {
+	size := n * c * h * w
+	if t != nil && cap(t.Data) >= size {
+		t.N, t.C, t.H, t.W = n, c, h, w
+		t.Data = t.Data[:size]
+		return t
+	}
+	return New(n, c, h, w)
+}
 
 // Len returns the element count.
 func (t *Tensor) Len() int { return t.N * t.C * t.H * t.W }
@@ -93,14 +113,25 @@ func (t *Tensor) MaxAbs() float64 {
 }
 
 // MatMul computes C = A x B for row-major matrices: A is m x k, B is k x n,
-// out is m x n. out must not alias a or b. The k-inner loop is ordered for
-// sequential access on both operands (ikj loop), which is the difference
-// between usable and unusable conv layers at these sizes.
+// out is m x n. out must not alias a or b. The default engine is the
+// blocked/packed GEMM in gemm.go; LDMO_GEMM=naive selects the original ikj
+// reference loop. Both accumulate each output element in ascending-k order,
+// so on finite inputs the engines are bit-identical.
 func MatMul(a []float64, m, k int, b []float64, n int, out []float64) {
 	if len(a) < m*k || len(b) < k*n || len(out) < m*n {
 		panic(fmt.Sprintf("tensor: matmul size mismatch m=%d k=%d n=%d (a=%d b=%d out=%d)",
 			m, k, n, len(a), len(b), len(out)))
 	}
+	if naiveMode() {
+		matMulNaive(a, m, k, b, n, out)
+		return
+	}
+	gemmPacked(a, false, m, k, b, n, out)
+}
+
+// matMulNaive is the reference ikj loop the package started with, kept
+// verbatim behind LDMO_GEMM=naive as the A/B baseline.
+func matMulNaive(a []float64, m, k int, b []float64, n int, out []float64) {
 	for i := 0; i < m*n; i++ {
 		out[i] = 0
 	}
@@ -121,11 +152,21 @@ func MatMul(a []float64, m, k int, b []float64, n int, out []float64) {
 }
 
 // MatMulATB computes out = A^T x B where A is k x m (so A^T is m x k) and B
-// is k x n; out is m x n. Used for weight gradients.
+// is k x n; out is m x n. Used for weight gradients and the conv input
+// gradient (W^T x gradOut).
 func MatMulATB(a []float64, k, m int, b []float64, n int, out []float64) {
 	if len(a) < k*m || len(b) < k*n || len(out) < m*n {
 		panic("tensor: matmulATB size mismatch")
 	}
+	if naiveMode() {
+		matMulATBNaive(a, k, m, b, n, out)
+		return
+	}
+	gemmPacked(a, true, m, k, b, n, out)
+}
+
+// matMulATBNaive is the reference kij loop for the transposed-A product.
+func matMulATBNaive(a []float64, k, m int, b []float64, n int, out []float64) {
 	for i := 0; i < m*n; i++ {
 		out[i] = 0
 	}
@@ -151,6 +192,15 @@ func MatMulABT(a []float64, m, k int, b []float64, n int, out []float64) {
 	if len(a) < m*k || len(b) < n*k || len(out) < m*n {
 		panic("tensor: matmulABT size mismatch")
 	}
+	if naiveMode() {
+		matMulABTNaive(a, m, k, b, n, out)
+		return
+	}
+	gemmABT(a, m, k, b, n, out)
+}
+
+// matMulABTNaive is the reference dot-product loop for A x B^T.
+func matMulABTNaive(a []float64, m, k int, b []float64, n int, out []float64) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		orow := out[i*n : (i+1)*n]
@@ -182,37 +232,64 @@ func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
 // (C*K*K) x (OutH*OutW), row-major, so convolution becomes a matmul with the
 // (OutC) x (C*K*K) weight matrix. Out-of-bounds taps read 0.
 func Im2Col(img []float64, g ConvGeom, col []float64) {
-	oh, ow := g.OutH(), g.OutW()
-	cols := oh * ow
+	cols := g.OutH() * g.OutW()
 	if len(img) < g.InC*g.InH*g.InW || len(col) < g.InC*g.K*g.K*cols {
 		panic("tensor: im2col size mismatch")
 	}
+	im2colStride(img, g, col, cols)
+}
+
+// Im2ColBatch expands an n-image NCHW batch into one whole-batch column
+// matrix of shape (C*K*K) x (n*OutH*OutW), row-major, with image b occupying
+// columns [b*OutH*OutW, (b+1)*OutH*OutW). One GEMM against the weight matrix
+// then convolves the entire batch.
+func Im2ColBatch(imgs []float64, n int, g ConvGeom, col []float64) {
+	cols := g.OutH() * g.OutW()
+	imgLen := g.InC * g.InH * g.InW
+	if len(imgs) < n*imgLen || len(col) < g.InC*g.K*g.K*n*cols {
+		panic("tensor: im2col batch size mismatch")
+	}
+	for b := 0; b < n; b++ {
+		im2colStride(imgs[b*imgLen:(b+1)*imgLen], g, col[b*cols:], n*cols)
+	}
+}
+
+// im2colStride writes one image's column block into col, whose rows are
+// rowStride elements apart (rowStride = OutH*OutW for a single image,
+// n*OutH*OutW inside a whole-batch matrix).
+func im2colStride(img []float64, g ConvGeom, col []float64, rowStride int) {
+	oh, ow := g.OutH(), g.OutW()
 	row := 0
 	for c := 0; c < g.InC; c++ {
 		plane := img[c*g.InH*g.InW:]
 		for ky := 0; ky < g.K; ky++ {
 			for kx := 0; kx < g.K; kx++ {
-				dst := col[row*cols:]
+				// The x-padding clip is the same for every output row, so
+				// hoist it: positions [oxLo, oxHi) read the plane, the
+				// fringes are zeros.
+				oxLo, oxHi := clipRange(ow, g.Stride, kx-g.Pad, g.InW)
+				dst := col[row*rowStride:]
 				i := 0
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*g.Stride - g.Pad + ky
 					if iy < 0 || iy >= g.InH {
-						for ox := 0; ox < ow; ox++ {
-							dst[i] = 0
-							i++
-						}
+						zeroF(dst[i : i+ow])
+						i += ow
 						continue
 					}
-					base := iy * g.InW
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.Stride - g.Pad + kx
-						if ix < 0 || ix >= g.InW {
-							dst[i] = 0
-						} else {
-							dst[i] = plane[base+ix]
+					base := iy*g.InW + kx - g.Pad
+					zeroF(dst[i : i+oxLo])
+					if g.Stride == 1 {
+						copy(dst[i+oxLo:i+oxHi], plane[base+oxLo:base+oxHi])
+					} else {
+						ix := base + oxLo*g.Stride
+						for ox := oxLo; ox < oxHi; ox++ {
+							dst[i+ox] = plane[ix]
+							ix += g.Stride
 						}
-						i++
 					}
+					zeroF(dst[i+oxHi : i+ow])
+					i += ow
 				}
 				row++
 			}
@@ -220,23 +297,70 @@ func Im2Col(img []float64, g ConvGeom, col []float64) {
 	}
 }
 
+// clipRange returns the half-open output range [lo, hi) whose input index
+// ox*stride+off lands inside [0, inW); positions outside it read padding.
+func clipRange(ow, stride, off, inW int) (int, int) {
+	lo := 0
+	if off < 0 {
+		lo = (-off + stride - 1) / stride
+	}
+	hi := ow
+	if last := inW - 1 - off; last < 0 {
+		hi = 0
+	} else if h := last/stride + 1; h < ow {
+		hi = h
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// zeroF clears a float slice (compiles to a memclr).
+func zeroF(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 // Col2Im scatters a column-matrix gradient back into image space, the adjoint
 // of Im2Col. The image buffer is zeroed first.
 func Col2Im(col []float64, g ConvGeom, img []float64) {
-	oh, ow := g.OutH(), g.OutW()
-	cols := oh * ow
+	cols := g.OutH() * g.OutW()
 	if len(img) < g.InC*g.InH*g.InW || len(col) < g.InC*g.K*g.K*cols {
 		panic("tensor: col2im size mismatch")
 	}
-	for i := 0; i < g.InC*g.InH*g.InW; i++ {
-		img[i] = 0
+	col2imStride(col, g, img, cols)
+}
+
+// Col2ImBatch scatters a whole-batch column-matrix gradient (the layout of
+// Im2ColBatch) back into an n-image NCHW batch, the adjoint of Im2ColBatch.
+// The image buffer is zeroed first.
+func Col2ImBatch(col []float64, n int, g ConvGeom, imgs []float64) {
+	cols := g.OutH() * g.OutW()
+	imgLen := g.InC * g.InH * g.InW
+	if len(imgs) < n*imgLen || len(col) < g.InC*g.K*g.K*n*cols {
+		panic("tensor: col2im batch size mismatch")
 	}
+	for b := 0; b < n; b++ {
+		col2imStride(col[b*cols:], g, imgs[b*imgLen:(b+1)*imgLen], n*cols)
+	}
+}
+
+// col2imStride scatters one image's column block (rows rowStride apart)
+// into img, zeroing img first.
+func col2imStride(col []float64, g ConvGeom, img []float64, rowStride int) {
+	oh, ow := g.OutH(), g.OutW()
+	zeroF(img[:g.InC*g.InH*g.InW])
 	row := 0
 	for c := 0; c < g.InC; c++ {
 		plane := img[c*g.InH*g.InW:]
 		for ky := 0; ky < g.K; ky++ {
 			for kx := 0; kx < g.K; kx++ {
-				src := col[row*cols:]
+				// Clipped positions contribute nothing; accumulate only the
+				// in-bounds range, in the same ascending-ox order as before.
+				oxLo, oxHi := clipRange(ow, g.Stride, kx-g.Pad, g.InW)
+				src := col[row*rowStride:]
 				i := 0
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*g.Stride - g.Pad + ky
@@ -244,14 +368,12 @@ func Col2Im(col []float64, g ConvGeom, img []float64) {
 						i += ow
 						continue
 					}
-					base := iy * g.InW
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*g.Stride - g.Pad + kx
-						if ix >= 0 && ix < g.InW {
-							plane[base+ix] += src[i]
-						}
-						i++
+					ix := iy*g.InW + kx - g.Pad + oxLo*g.Stride
+					for ox := oxLo; ox < oxHi; ox++ {
+						plane[ix] += src[i+ox]
+						ix += g.Stride
 					}
+					i += ow
 				}
 				row++
 			}

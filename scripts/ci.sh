@@ -21,8 +21,15 @@ go test -run='^$' -fuzz='^FuzzReadGDS$' -fuzztime=10s ./internal/gds
 # 100-iteration FFT benchmark smoke (both engines), and a deadline-bounded
 # quick A/B bench writing outside the tree so the clean-tree guard stays
 # meaningful on reruns.
-go test -timeout 120s -run='ZeroAlloc|SteadyStateAllocs|HotPathZeroAlloc' ./internal/fft ./internal/litho ./internal/ilt
+go test -timeout 120s -run='ZeroAlloc|SteadyStateAllocs|HotPathZeroAlloc' ./internal/fft ./internal/litho ./internal/ilt ./internal/nn ./internal/tensor
 go test -run='^$' -bench='^BenchmarkFFT' -benchtime=100x ./internal/fft
 tmpout="$(mktemp -d)"
 trap 'rm -rf "$tmpout"' EXIT
 go run ./cmd/ldmo-bench -exp fftbench -fast -deadline 120s -out "$tmpout"
+
+# NN compute-core gates: the GEMM engine golden (bit-identical blocked vs
+# naive training trajectory) and sharded PredictBatch over folded replicas
+# already run under -race via ./internal/model above; here the quick
+# naive-vs-blocked A/B bench proves the folded path stays zero-alloc and the
+# blocked engine stays ahead.
+go run ./cmd/ldmo-bench -exp nnbench -fast -deadline 120s -out "$tmpout"
