@@ -15,6 +15,8 @@
 //	                                  # emits BENCH_fft.json
 //	ldmo-bench -exp nnbench           # naive-vs-blocked NN compute core A/B,
 //	                                  # emits BENCH_nn.json
+//	ldmo-bench -exp pipebench         # stage-at-a-time vs pipelined flow,
+//	                                  # emits BENCH_pipeline.json
 //	ldmo-bench -exp all               # everything
 //
 // Flags:
@@ -49,7 +51,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, nnbench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, nnbench, pipebench, all")
 	fast := flag.Bool("fast", false, "coarse raster and reduced training budget")
 	modelPath := flag.String("model", "", "path to a trained predictor (optional)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -105,7 +107,7 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench", "nnbench":
+	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench", "nnbench", "pipebench":
 		run(*exp)
 	default:
 		fatalf("unknown experiment %q", *exp)
@@ -186,6 +188,23 @@ func runExperiment(name string, opt experiments.Options, outDir string, w io.Wri
 		}
 		b.Render(w)
 		path := "BENCH_nn.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(outDir, path)
+		}
+		if err := b.WriteJSON(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	case "pipebench":
+		b, err := experiments.RunPipelineBench(opt)
+		if err != nil {
+			return err
+		}
+		b.Render(w)
+		path := "BENCH_pipeline.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

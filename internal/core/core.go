@@ -168,58 +168,123 @@ func (f *Flow) RunContext(ctx context.Context, l layout.Layout) (Result, error) 
 	ctx, cancel := f.cfg.Budget.Apply(ctx)
 	defer cancel()
 
+	lr, err := f.generate(l)
+	if err != nil {
+		return Result{}, err
+	}
+	if lr.imgs != nil {
+		lr.applyScores(f.predict(lr.imgs))
+	}
+	return lr.optimize(ctx)
+}
+
+// layoutRun carries one layout through the flow's three stages — generate,
+// score, optimize. RunContext drives them back to back; the pipelined
+// scheduler (pipeline.go) drives the same stages with scoring coalesced
+// across in-flight layouts, so both paths run identical per-layout code and
+// produce bitwise-identical results.
+type layoutRun struct {
+	f     *Flow
+	l     layout.Layout
+	clock *simclock.Clock
+	cands []decomp.Decomposition
+	order []int
+	// imgs holds the rendered candidate images when prediction applies
+	// (scorer present, >1 candidate); nil means the scoring stage is a
+	// no-op for this layout.
+	imgs   []*grid.Grid
+	scores []float64
+	res    Result
+}
+
+// generate is the decomposition-generation stage: enumerate candidates and
+// render their predictor input images.
+func (f *Flow) generate(l layout.Layout) (*layoutRun, error) {
 	clock := simclock.New(f.cfg.ClockModel)
 	clock.SetPhase(PhaseDS)
 
-	// Decomposition generation.
 	gen := decomp.NewGenerator()
 	gen.Classify = f.cfg.Classify
 	gen.Seed = f.cfg.Seed
 	gen.Clock = clock
 	cands, err := gen.Generate(l)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
-	res := Result{
-		Layout:     l,
-		Candidates: len(cands),
-		Clock:      clock,
+	lr := &layoutRun{
+		f:     f,
+		l:     l,
+		clock: clock,
+		cands: cands,
+		res: Result{
+			Layout:     l,
+			Candidates: len(cands),
+			Clock:      clock,
+		},
 	}
-
-	// Printability prediction: score every candidate with one CNN
-	// inference each, then sort ascending (lower score = better predicted
-	// printability). A scorer crash is converted at this boundary and the
-	// flow degrades to generator order — rung 1 of the ladder.
-	order := make([]int, len(cands))
-	for i := range order {
-		order[i] = i
+	lr.order = make([]int, len(cands))
+	for i := range lr.order {
+		lr.order[i] = i
 	}
-	var scores []float64
 	if f.scorer != nil && len(cands) > 1 {
-		imgs := make([]*grid.Grid, len(cands))
+		lr.imgs = make([]*grid.Grid, len(cands))
 		for i, d := range cands {
-			imgs[i] = d.GrayImage(f.cfg.ImageRes, f.cfg.ImageSize)
-		}
-		serr := runx.Recover(func() error {
-			if faultinject.Enabled(faultinject.ScorerPanic) {
-				panic("faultinject: scorer panic")
-			}
-			scores = f.scorer.PredictBatch(imgs)
-			return nil
-		})
-		if serr != nil {
-			res.ScorerFallback = true
-			res.ScorerErr = serr
-			scores = nil
-		} else {
-			clock.Charge(simclock.CostCNNInference, len(cands))
-			sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+			lr.imgs[i] = d.GrayImage(f.cfg.ImageRes, f.cfg.ImageSize)
 		}
 	}
-	res.PredScores = scores
+	return lr, nil
+}
 
-	// ILT with the violation-feedback loop.
+// predict runs the scorer on a rendered image batch behind the flow's
+// panic-recovery boundary. A crash comes back as the error (nil scores), to
+// be absorbed by applyScores as rung 1 of the degradation ladder.
+func (f *Flow) predict(imgs []*grid.Grid) (scores []float64, err error) {
+	err = runx.Recover(func() error {
+		if faultinject.Enabled(faultinject.ScorerPanic) {
+			panic("faultinject: scorer panic")
+		}
+		scores = f.scorer.PredictBatch(imgs)
+		return nil
+	})
+	if err != nil {
+		scores = nil
+	}
+	return scores, err
+}
+
+// applyScores is the prediction-stage epilogue: sort the candidate order
+// ascending by score (lower = better predicted printability), or degrade to
+// generator order when the scorer failed — rung 1 of the ladder. The scores
+// themselves are a per-image function of the image alone, so it does not
+// matter whether they came from a per-layout PredictBatch call or a flush
+// coalesced across many layouts.
+func (lr *layoutRun) applyScores(scores []float64, serr error) {
+	if serr != nil {
+		lr.res.ScorerFallback = true
+		lr.res.ScorerErr = serr
+		scores = nil
+	} else {
+		lr.clock.Charge(simclock.CostCNNInference, len(lr.cands))
+		sort.SliceStable(lr.order, func(a, b int) bool { return scores[lr.order[a]] < scores[lr.order[b]] })
+	}
+	lr.res.PredScores = scores
+	lr.scores = scores
+}
+
+// optimize is the mask-optimization stage: ILT with the violation-feedback
+// loop over the (scored) candidate order, the degradation ladder of
+// RunContext, and the forced best-effort rerun. ctx is polled exactly as the
+// historical RunContext did — once at each attempt-loop top, once after an
+// interrupted candidate, once after the loop.
+func (lr *layoutRun) optimize(ctx context.Context) (Result, error) {
+	f := lr.f
+	l := lr.l
+	clock := lr.clock
+	cands := lr.cands
+	order := lr.order
+	res := lr.res
+
 	iltCfg := f.cfg.ILT
 	iltCfg.AbortOnViolation = true
 	opt, err := ilt.NewOptimizer(l, iltCfg)

@@ -21,10 +21,16 @@ type ParallelBench struct {
 	Cell       string `json:"cell"`
 	Candidates int    `json:"candidates"`
 	// Workers is the parallel lane count measured against the serial run;
-	// GOMAXPROCS records how much hardware parallelism the host actually
-	// offers (speedup is bounded by min of the two).
+	// GOMAXPROCS records how much hardware parallelism the Go runtime will
+	// actually schedule and NumCPU how many cores the host reports (speedup
+	// is bounded by the min of the three).
 	Workers    int `json:"workers"`
 	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	// Constrained flags a run taken with GOMAXPROCS=1: the speedup number
+	// then measures scheduling overhead, not parallelism, and must not be
+	// read as the flow's parallel scaling.
+	Constrained bool `json:"constrained"`
 	// SerialSec and ParallelSec are wall-clock seconds for the full
 	// OracleSelect sweep at 1 and Workers lanes; Speedup = serial/parallel.
 	SerialSec   float64 `json:"serial_sec"`
@@ -51,7 +57,16 @@ func RunParallelBench(o Options) (ParallelBench, error) {
 	if workers <= 0 {
 		workers = par.Workers()
 	}
-	out := ParallelBench{Cell: cell.Name, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	out := ParallelBench{
+		Cell:       cell.Name,
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	out.Constrained = out.GOMAXPROCS == 1
+	if out.Constrained {
+		o.logf("parbench: WARNING: GOMAXPROCS=1 (numcpu=%d) — the runtime schedules every goroutine on one core, so parallel timings measure overhead only; marking the record constrained\n", out.NumCPU)
+	}
 
 	cfg.Workers = 1
 	start := time.Now()
@@ -112,8 +127,11 @@ func (b ParallelBench) WriteJSON(path string) error {
 // Render prints the human-readable summary.
 func (b ParallelBench) Render(w io.Writer) {
 	fmt.Fprintln(w, "Parallel OracleSelect benchmark")
-	fmt.Fprintf(w, "cell %s  candidates %d  workers %d (GOMAXPROCS %d)\n",
-		b.Cell, b.Candidates, b.Workers, b.GOMAXPROCS)
+	fmt.Fprintf(w, "cell %s  candidates %d  workers %d (GOMAXPROCS %d, numcpu %d)\n",
+		b.Cell, b.Candidates, b.Workers, b.GOMAXPROCS, b.NumCPU)
 	fmt.Fprintf(w, "serial %.2fs  parallel %.2fs  speedup %.2fx  identical %v\n",
 		b.SerialSec, b.ParallelSec, b.Speedup, b.Identical)
+	if b.Constrained {
+		fmt.Fprintln(w, "*** CONSTRAINED RUN: GOMAXPROCS=1 — speedup reflects scheduling overhead, not parallel scaling ***")
+	}
 }

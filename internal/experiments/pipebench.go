@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ldmo/internal/core"
+	"ldmo/internal/grid"
+	"ldmo/internal/layout"
+	"ldmo/internal/model"
+	"ldmo/internal/par"
+)
+
+// PipelineBench is the machine-readable record of the stage-at-a-time vs
+// pipelined flow comparison that cmd/ldmo-bench writes to BENCH_pipeline.json.
+type PipelineBench struct {
+	// Cells lists the benchmark layouts; Layouts is their count.
+	Cells   []string `json:"cells"`
+	Layouts int      `json:"layouts"`
+	// Workers and Chunk are the scheduler parameters actually run (the
+	// scheduler bumps Workers up to Chunk so a coalescing wave can always
+	// assemble); GOMAXPROCS and NumCPU describe the host.
+	Workers    int `json:"workers"`
+	Chunk      int `json:"chunk"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	// Constrained flags a GOMAXPROCS=1 run: pipeline timings then measure
+	// scheduling overhead plus batching amortization, not stage overlap.
+	Constrained bool `json:"constrained"`
+	// SerialSec is the wall time of a layout-at-a-time RunContext loop;
+	// PipelineSec the wall time of RunPipeline over the same slice.
+	SerialSec   float64 `json:"serial_sec"`
+	PipelineSec float64 `json:"pipeline_sec"`
+	Speedup     float64 `json:"speedup"`
+	// SerialPredictCalls counts scorer invocations in the serial loop (one
+	// per multi-candidate layout); PipelinePredictCalls counts the coalesced
+	// flushes that served the same requests. MaxBatch is the largest single
+	// coalesced batch in layouts; Images the total candidate images scored.
+	SerialPredictCalls   int `json:"serial_predict_calls"`
+	PipelinePredictCalls int `json:"pipeline_predict_calls"`
+	MaxBatch             int `json:"max_batch"`
+	Images               int `json:"images"`
+	// Per-stage worker occupancy of the pipelined run, each in [0,1]:
+	// busy time summed over workers divided by wall * workers. ScoreWait is
+	// time blocked waiting for a prediction wave to assemble.
+	GenOccupancy       float64 `json:"gen_occupancy"`
+	PredictOccupancy   float64 `json:"predict_occupancy"`
+	ScoreWaitOccupancy float64 `json:"score_wait_occupancy"`
+	OptOccupancy       float64 `json:"opt_occupancy"`
+	// Identical asserts every pipelined result is bitwise-equal to its
+	// serial counterpart (choice, scores, masks, printed image, model
+	// seconds) — the determinism guarantee, checked on every bench run.
+	Identical bool `json:"identical"`
+}
+
+// countingScorer wraps a scorer and counts PredictBatch invocations. It
+// deliberately does not forward the PredictBatchInto fast path: the count is
+// the point, and PredictBatch returns bitwise the same scores.
+type countingScorer struct {
+	inner core.Scorer
+	calls int
+}
+
+func (c *countingScorer) PredictBatch(imgs []*grid.Grid) []float64 {
+	c.calls++
+	return c.inner.PredictBatch(imgs)
+}
+
+// RunPipelineBench measures the full flow over the cell library twice — a
+// layout-at-a-time RunContext loop against the pipelined scheduler with
+// coalesced cross-layout prediction — and cross-checks that both produce
+// byte-identical results. The scorer is an untrained predictor: prediction
+// cost and batching behavior are architecture properties, not weight
+// properties, and skipping training keeps the bench inside CI budgets.
+func RunPipelineBench(o Options) (PipelineBench, error) {
+	ls := layout.Cells()
+	if o.Fast {
+		ls = ls[:6]
+	}
+	cfg := o.flowConfig()
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	out := PipelineBench{
+		Layouts:    len(ls),
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, l := range ls {
+		out.Cells = append(out.Cells, l.Name)
+	}
+	out.Constrained = out.GOMAXPROCS == 1
+	if out.Constrained {
+		o.logf("pipebench: WARNING: GOMAXPROCS=1 (numcpu=%d) — stages cannot physically overlap, so pipeline_sec measures batching amortization plus scheduling overhead; marking the record constrained\n", out.NumCPU)
+	}
+
+	pred := o.Predictor
+	if pred == nil {
+		var err error
+		pred, err = model.New(model.TinyConfig())
+		if err != nil {
+			return out, err
+		}
+	}
+
+	// Serial reference: stage-at-a-time, one scorer invocation per layout.
+	counter := &countingScorer{inner: pred}
+	serialFlow := core.NewFlow(counter, cfg)
+	ref := make([]core.Result, len(ls))
+	start := time.Now()
+	for i, l := range ls {
+		r, err := serialFlow.Run(l)
+		if err != nil {
+			return out, fmt.Errorf("pipebench: serial %s: %w", l.Name, err)
+		}
+		ref[i] = r
+	}
+	out.SerialSec = time.Since(start).Seconds()
+	out.SerialPredictCalls = counter.calls
+
+	pipeFlow := core.NewFlow(pred, cfg)
+	start = time.Now()
+	results, stats := pipeFlow.RunPipeline(ls, core.PipelineOptions{Workers: workers})
+	out.PipelineSec = time.Since(start).Seconds()
+
+	out.Chunk = stats.Chunk
+	out.Workers = stats.Workers
+	out.PipelinePredictCalls = stats.Coalesce.Flushes
+	out.MaxBatch = stats.Coalesce.MaxBatch
+	out.Images = stats.Images
+	out.GenOccupancy = stats.Occupancy(stats.GenBusy)
+	out.PredictOccupancy = stats.Occupancy(stats.PredictBusy)
+	out.ScoreWaitOccupancy = stats.Occupancy(stats.ScoreWait)
+	out.OptOccupancy = stats.Occupancy(stats.OptBusy)
+	if out.PipelineSec > 0 {
+		out.Speedup = out.SerialSec / out.PipelineSec
+	}
+
+	out.Identical = true
+	for i := range ls {
+		if results[i].Err != nil {
+			return out, fmt.Errorf("pipebench: pipeline %s: %w", ls[i].Name, results[i].Err)
+		}
+		if !resultsEqual(ref[i], results[i].Res) {
+			out.Identical = false
+			o.logf("pipebench: MISMATCH on %s: pipelined result differs from serial\n", ls[i].Name)
+		}
+	}
+	o.logf("pipebench: %d layouts, serial %.2fs (%d predict calls), pipeline %.2fs (%d flushes, max batch %d) @%d workers chunk %d (%.2fx), identical=%v\n",
+		out.Layouts, out.SerialSec, out.SerialPredictCalls, out.PipelineSec,
+		out.PipelinePredictCalls, out.MaxBatch, out.Workers, out.Chunk, out.Speedup, out.Identical)
+	return out, nil
+}
+
+// resultsEqual compares two flow results for the bitwise-identity guarantee:
+// same choice, same predictor scores, same masks and printed image, same
+// deterministic model seconds.
+func resultsEqual(a, b core.Result) bool {
+	if a.Chosen.Key() != b.Chosen.Key() ||
+		a.Candidates != b.Candidates || a.Attempts != b.Attempts ||
+		a.Forced != b.Forced || a.Interrupted != b.Interrupted ||
+		a.ScorerFallback != b.ScorerFallback ||
+		a.Seconds != b.Seconds ||
+		a.ILT.L2 != b.ILT.L2 || a.ILT.Iters != b.ILT.Iters ||
+		a.ILT.EPE.Violations != b.ILT.EPE.Violations {
+		return false
+	}
+	if !gridEqual(a.PredScores, b.PredScores) {
+		return false
+	}
+	return gridEqual(a.ILT.M1.Data, b.ILT.M1.Data) &&
+		gridEqual(a.ILT.M2.Data, b.ILT.M2.Data) &&
+		gridEqual(a.ILT.Printed.Data, b.ILT.Printed.Data)
+}
+
+// WriteJSON writes the bench record to path.
+func (b PipelineBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the human-readable summary.
+func (b PipelineBench) Render(w io.Writer) {
+	fmt.Fprintln(w, "Pipelined flow benchmark")
+	fmt.Fprintf(w, "layouts %d  workers %d  chunk %d (GOMAXPROCS %d, numcpu %d)\n",
+		b.Layouts, b.Workers, b.Chunk, b.GOMAXPROCS, b.NumCPU)
+	fmt.Fprintf(w, "serial %.2fs (%d predict calls)  pipeline %.2fs (%d flushes, max batch %d, %d images)  speedup %.2fx\n",
+		b.SerialSec, b.SerialPredictCalls, b.PipelineSec, b.PipelinePredictCalls,
+		b.MaxBatch, b.Images, b.Speedup)
+	fmt.Fprintf(w, "occupancy  gen %.2f  predict %.2f  score-wait %.2f  opt %.2f\n",
+		b.GenOccupancy, b.PredictOccupancy, b.ScoreWaitOccupancy, b.OptOccupancy)
+	fmt.Fprintf(w, "identical %v\n", b.Identical)
+	if b.Constrained {
+		fmt.Fprintln(w, "*** CONSTRAINED RUN: GOMAXPROCS=1 — stages cannot overlap; numbers show batching amortization and overhead only ***")
+	}
+}

@@ -107,6 +107,11 @@ func (p *Plan) NewScratch() *Scratch {
 // sits at the padded origin. The result can be passed to Convolve and
 // Correlate any number of times.
 func (p *Plan) TransformKernel(kernel []float64) []complex128 {
+	return p.transformKernel(&p.scratch, kernel)
+}
+
+// transformKernel derives a kernel spectrum using the column strip of s.
+func (p *Plan) transformKernel(s *Scratch, kernel []float64) []complex128 {
 	if len(kernel) != p.KW*p.KH {
 		panic(fmt.Sprintf("fft: kernel length %d != %dx%d", len(kernel), p.KW, p.KH))
 	}
@@ -122,7 +127,6 @@ func (p *Plan) TransformKernel(kernel []float64) []complex128 {
 		}
 	}
 	kf := make([]complex128, p.SpecLen())
-	s := &p.scratch
 	if p.realMode {
 		for y := 0; y < p.PH; y++ {
 			rfftRow(kf[y*p.HW:(y+1)*p.HW], wrapped[y*p.PW:(y+1)*p.PW], p.twHalf, p.twRow)

@@ -140,6 +140,7 @@ type Optimizer struct {
 	target   *grid.Grid
 	cps      []epe.Checkpoint
 	clock    *simclock.Clock
+	spare    *Session // recycled between RunCtx calls; see session()
 }
 
 // NewOptimizer builds an optimizer for the layout under the given config.
@@ -197,6 +198,20 @@ func (o *Optimizer) SetMaxIters(n int) {
 // Target returns the rasterized target image (shared; do not mutate).
 func (o *Optimizer) Target() *grid.Grid { return o.target }
 
+// session acquires an initialized session for d: the recycled spare when one
+// is available, a fresh allocation otherwise. A Result shares no memory with
+// the session that produced it (Snapshot copies masks and trace), so RunCtx
+// recycles its session on return and a flow's per-candidate runs reuse one
+// buffer set. Reset state is bitwise-identical to a fresh session's.
+func (o *Optimizer) session(d decomp.Decomposition) *Session {
+	if s := o.spare; s != nil {
+		o.spare = nil
+		s.reset(d)
+		return s
+	}
+	return o.NewSession(d)
+}
+
 // Run optimizes the masks of decomposition d: gradient steps in CheckEvery
 // chunks with a print-violation snapshot between chunks (the Fig. 2 feedback
 // check). See Result for outputs. Run is RunCtx without cancellation.
@@ -214,7 +229,8 @@ func (o *Optimizer) Run(d decomp.Decomposition) Result {
 // RunCtx performs no extra snapshots and is step-for-step identical to the
 // historical Run, including its deterministic cost accounting.
 func (o *Optimizer) RunCtx(ctx context.Context, d decomp.Decomposition) Result {
-	s := o.NewSession(d)
+	s := o.session(d)
+	defer func() { o.spare = s }()
 	track := ctx != nil && ctx.Done() != nil
 	var best Result
 	hasBest := false

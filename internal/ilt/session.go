@@ -57,7 +57,6 @@ func (o *Optimizer) NewSession(d interface {
 	Masks(res int) (*grid.Grid, *grid.Grid)
 }) *Session {
 	n := o.sim.W * o.sim.H
-	m1g, m2g := d.Masks(o.cfg.Litho.Resolution)
 	s := &Session{
 		o:        o,
 		composed: grid.NewLike(o.target),
@@ -67,24 +66,51 @@ func (o *Optimizer) NewSession(d interface {
 		gradM:    make([]float64, n),
 		// The trace grows by one row per iteration; reserving the full
 		// budget up front keeps the steady-state Step loop append-free.
-		trace:     make([]IterStat, 0, o.cfg.MaxIters+1),
-		stepScale: 1,
+		trace: make([]IterStat, 0, o.cfg.MaxIters+1),
 	}
-	masks := [2][]float64{m1g.Data, m2g.Data}
 	for i := 0; i < 2; i++ {
 		s.p[i] = make([]float64, n)
 		s.m[i] = make([]float64, n)
 		s.aerial[i] = make([]float64, n)
 		s.resist[i] = make([]float64, n)
 		s.fields[i] = o.sim.NewFields()
-		clamped := make([]float64, n)
-		for j, v := range masks[i] {
-			clamped[j] = math.Min(math.Max(v, o.cfg.InitClip), 1-o.cfg.InitClip)
-		}
-		litho.MaskSigmoidInverse(o.cfg.Litho.ThetaM, clamped, s.p[i])
-		s.snapP[i] = append([]float64(nil), s.p[i]...)
+		s.snapP[i] = make([]float64, n)
 	}
+	s.reset(d)
 	return s
+}
+
+// reset re-derives the session's optimizer state for decomposition d without
+// allocating: every buffer of the session is reused, so a recycled session is
+// exactly as cheap as restarting on warm memory. The resulting state is
+// bitwise-identical to a freshly constructed session's — the initializer is a
+// pure function of d and the optimizer config.
+func (s *Session) reset(d interface {
+	Masks(res int) (*grid.Grid, *grid.Grid)
+}) {
+	o := s.o
+	m1g, m2g := d.Masks(o.cfg.Litho.Resolution)
+	s.iter = 0
+	// The budget may have grown via SetMaxIters since this session was built.
+	if cap(s.trace) < o.cfg.MaxIters+1 {
+		s.trace = make([]IterStat, 0, o.cfg.MaxIters+1)
+	} else {
+		s.trace = s.trace[:0]
+	}
+	s.snapIter = 0
+	s.snapTraceLen = 0
+	s.stepScale = 1
+	s.nanRetries = 0
+	s.fault = false
+	masks := [2][]float64{m1g.Data, m2g.Data}
+	for i := 0; i < 2; i++ {
+		// s.m[i] doubles as the clamp scratch; forward overwrites it anyway.
+		for j, v := range masks[i] {
+			s.m[i][j] = math.Min(math.Max(v, o.cfg.InitClip), 1-o.cfg.InitClip)
+		}
+		litho.MaskSigmoidInverse(o.cfg.Litho.ThetaM, s.m[i], s.p[i])
+		copy(s.snapP[i], s.p[i])
+	}
 }
 
 // Iter returns the number of gradient iterations performed so far.

@@ -1,0 +1,68 @@
+package litho
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldmo/internal/fft"
+)
+
+// TestSimulatorsShareImmutableCore: two simulators of the same geometry get
+// the same plan and kernel spectra (pointer-identical), and still produce
+// bitwise-identical images — sharing is a pure construction-cost optimization.
+func TestSimulatorsShareImmutableCore(t *testing.T) {
+	p := FastParams()
+	a, err := NewSimulator(64, 64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSimulator(64, 64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.plan != b.plan {
+		t.Fatal("same-geometry simulators built distinct plans")
+	}
+	for k := range a.kffts {
+		if &a.kffts[k][0] != &b.kffts[k][0] {
+			t.Fatalf("kernel %d spectrum not shared", k)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	mask := make([]float64, 64*64)
+	for i := range mask {
+		mask[i] = rng.Float64()
+	}
+	outA := make([]float64, len(mask))
+	outB := make([]float64, len(mask))
+	a.Aerial(mask, outA, nil)
+	b.Aerial(mask, outB, nil)
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("shared-core simulators diverge at %d: %v vs %v", i, outA[i], outB[i])
+		}
+	}
+}
+
+// TestSharedCacheKeyedByMode: the two spectral engines must not hand out each
+// other's plans; the cache key includes the LDMO_FFT mode.
+func TestSharedCacheKeyedByMode(t *testing.T) {
+	p := FastParams()
+	t.Setenv(fft.EnvMode, "")
+	real1, err := NewSimulator(32, 32, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(fft.EnvMode, fft.ModeComplex)
+	cplx, err := NewSimulator(32, 32, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real1.plan == cplx.plan {
+		t.Fatal("real and complex modes received the same shared plan")
+	}
+	if !real1.plan.RealMode() || cplx.plan.RealMode() {
+		t.Fatalf("mode mismatch: real plan RealMode=%v, complex plan RealMode=%v",
+			real1.plan.RealMode(), cplx.plan.RealMode())
+	}
+}

@@ -52,17 +52,14 @@ func NewSimulator(w, h int, p Params) (*Simulator, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("litho: invalid raster %dx%d", w, h)
 	}
-	bank := BuildKernelBank(p)
-	ks := MaxKernelSize(bank)
-	plan := fft.NewPlan(w, h, ks, ks)
-	kffts := make([][]complex128, len(bank))
-	for i, k := range bank {
-		kffts[i] = plan.TransformKernel(padKernel(k, ks))
-	}
+	// The kernel bank, convolution plan, and kernel spectra are immutable and
+	// identical for every simulator of this (params, raster, mode) tuple, so
+	// they come from the process-wide cache; only mutable scratch is owned.
+	sh := sharedFor(p, w, h)
 	s := &Simulator{
-		P: p, W: w, H: h, bank: bank, plan: plan, fs: plan.NewScratch(), kffts: kffts,
+		P: p, W: w, H: h, bank: sh.bank, plan: sh.plan, fs: sh.plan.NewScratch(), kffts: sh.kffts,
 		field: make([]float64, w*h), acc: make([]float64, w*h),
-		specAcc: make([]complex128, plan.SpecLen()),
+		specAcc: make([]complex128, sh.plan.SpecLen()),
 	}
 	s.SetWorkers(0)
 	return s, nil
@@ -152,8 +149,8 @@ func (s *Simulator) Aerial(mask []float64, out []float64, fields *Fields) {
 		out[i] = 0
 	}
 	// The mask transform is shared by every kernel, computed once into the
-	// simulator's own scratch (not the plan's embedded one, so the plan's
-	// convenience API stays usable around an optimization loop).
+	// simulator's own scratch. The plan itself is process-shared, so only
+	// *With methods with simulator-owned scratch may run on it.
 	spec := s.plan.ForwardInto(s.fs, mask)
 	if s.workers > 1 && len(s.bank) > 1 {
 		s.ensurePar()

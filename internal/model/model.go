@@ -154,9 +154,10 @@ type Predictor struct {
 	Norm  ScoreNorm
 	clock *simclock.Clock
 
-	workers int           // batch-sharding lanes; 0 = par.Workers()
-	frozen  []*nn.Network // lazily built folded per-lane inference replicas
-	pool    *par.Pool     // cached lane pool, rebuilt when workers changes
+	workers int              // batch-sharding lanes; 0 = par.Workers()
+	frozen  []*nn.Network    // lazily built folded per-lane inference replicas
+	pool    *par.Pool        // cached lane pool, rebuilt when workers changes
+	inx     []*tensor.Tensor // per-lane cached input batch tensors
 }
 
 // New builds an untrained predictor for the given architecture.
@@ -231,11 +232,30 @@ func (p *Predictor) frozenNets(n int) []*nn.Network {
 	return p.frozen[:n]
 }
 
-// imageToTensor packs grayscale images into an N x 1 x S x S batch,
-// resampling to the configured input size when needed.
+// imageToTensor packs grayscale images into a freshly allocated
+// N x 1 x S x S batch, resampling to the configured input size when needed.
+// Training uses it (each batch tensor lives across the NaN-retry loop);
+// inference goes through the cached lane tensors below.
 func (p *Predictor) imageToTensor(imgs []*grid.Grid) *tensor.Tensor {
 	s := p.Cfg.InputSize
 	x := tensor.New(len(imgs), 1, s, s)
+	for i, g := range imgs {
+		if g.W != s || g.H != s {
+			g = g.Resample(s, s)
+		}
+		copy(x.Data[i*s*s:(i+1)*s*s], g.Data)
+	}
+	return x
+}
+
+// laneTensor packs imgs into lane's cached input tensor as an
+// N x 1 x S x S batch, resampling to the configured input size when needed.
+// The caller must have grown p.inx past lane already (lanes write disjoint
+// slots concurrently; the slice header itself is never touched here).
+func (p *Predictor) laneTensor(lane int, imgs []*grid.Grid) *tensor.Tensor {
+	s := p.Cfg.InputSize
+	x := tensor.Ensure(p.inx[lane], len(imgs), 1, s, s)
+	p.inx[lane] = x
 	for i, g := range imgs {
 		if g.W != s || g.H != s {
 			g = g.Resample(s, s)
@@ -257,34 +277,57 @@ func (p *Predictor) PredictBatch(imgs []*grid.Grid) []float64 {
 	if len(imgs) == 0 {
 		return nil
 	}
-	p.clock.Charge(simclock.CostCNNInference, len(imgs))
-	pool := p.lanePool()
-	lanes := min(pool.Size(), len(imgs))
-	if lanes > 1 {
-		return p.predictSharded(imgs, pool, p.frozenNets(lanes), lanes)
-	}
-	x := p.imageToTensor(imgs)
-	out := p.frozenNets(1)[0].Forward(x, false)
 	scores := make([]float64, len(imgs))
-	copy(scores, out.Data)
+	p.PredictBatchInto(imgs, scores)
 	return scores
 }
 
+// PredictBatchInto is PredictBatch writing into a caller-owned score slice
+// (len(out) must equal len(imgs)). Once warm, a call at a previously seen
+// batch size reuses the cached lane input tensors and the folded replicas,
+// so the coalesced prediction stage of the pipelined flow adds no
+// steady-state garbage beyond any needed input resampling.
+//
+// Scores are a per-sample function of each image alone — inference batch
+// norm uses running statistics and the blocked GEMM reduction order is
+// independent of batch composition — so any concatenation or split of
+// batches returns bitwise-identical scores per image. The flow's coalescing
+// across candidates and layouts relies on this invariance.
+func (p *Predictor) PredictBatchInto(imgs []*grid.Grid, out []float64) {
+	if len(imgs) == 0 {
+		return
+	}
+	if len(out) != len(imgs) {
+		panic(fmt.Sprintf("model: PredictBatchInto out length %d != batch %d", len(out), len(imgs)))
+	}
+	p.clock.Charge(simclock.CostCNNInference, len(imgs))
+	pool := p.lanePool()
+	lanes := min(pool.Size(), len(imgs))
+	for len(p.inx) < lanes {
+		p.inx = append(p.inx, nil)
+	}
+	if lanes > 1 {
+		p.predictSharded(imgs, out, pool, p.frozenNets(lanes), lanes)
+		return
+	}
+	x := p.laneTensor(0, imgs)
+	o := p.frozenNets(1)[0].Forward(x, false)
+	copy(out, o.Data)
+}
+
 // predictSharded splits imgs into lanes contiguous shards, forwards each
-// through its lane's network replica, and reassembles scores in input order.
-func (p *Predictor) predictSharded(imgs []*grid.Grid, pool *par.Pool, nets []*nn.Network, lanes int) []float64 {
-	scores := make([]float64, len(imgs))
+// through its lane's network replica, and assembles scores in input order.
+func (p *Predictor) predictSharded(imgs []*grid.Grid, out []float64, pool *par.Pool, nets []*nn.Network, lanes int) {
 	pool.Map(lanes, func(_, shard int) {
 		lo := shard * len(imgs) / lanes
 		hi := (shard + 1) * len(imgs) / lanes
 		if lo == hi {
 			return
 		}
-		x := p.imageToTensor(imgs[lo:hi])
-		out := nets[shard].Forward(x, false)
-		copy(scores[lo:hi], out.Data)
+		x := p.laneTensor(shard, imgs[lo:hi])
+		o := nets[shard].Forward(x, false)
+		copy(out[lo:hi], o.Data)
 	})
-	return scores
 }
 
 // Sealed-envelope identity of an exported predictor file.

@@ -1,0 +1,192 @@
+// Coalescer is the framework's request-coalescing queue: many producer
+// goroutines block in Do, their requests accumulate, and one flush call
+// services the whole accumulated batch. The pipelined flow scheduler uses it
+// to merge the per-layout CNN-prediction requests of every in-flight layout
+// into one large PredictBatch call, amortizing GEMM setup even on one core.
+//
+// The flush trigger is supply-driven: producers are announced with Expect
+// before they start, and the batch flushes exactly when every announced
+// producer has either submitted (Do) or withdrawn (Forgo) — or when the
+// batch cap is reached. The flush runs on the goroutine whose Do/Forgo
+// completed the batch, so the queue needs no goroutine of its own and adds
+// nothing to the process's steady-state goroutine count.
+//
+// Responses are positional: flush(reqs, resps) must fill resps[i] with the
+// answer to reqs[i]. Because each Do call's result depends only on its own
+// request (never on its batchmates), batch composition is a pure scheduling
+// artifact — callers get bitwise-identical answers at any coalescing
+// granularity. That invariance is what lets the pipelined flow preserve the
+// serial==parallel contract while batching across layouts.
+package par
+
+import "sync"
+
+// CoalesceStats counts the queue's amortization at a point in time.
+type CoalesceStats struct {
+	// Flushes is the number of flush calls issued; Requests the total Do
+	// calls they served. Requests/Flushes is the achieved batching factor.
+	Flushes  int
+	Requests int
+	// MaxBatch is the largest single flush.
+	MaxBatch int
+}
+
+// coalesceGen is one batch generation: requests accumulate into it until the
+// flush trigger fires, then every waiter of the generation reads its slot.
+// Generations are recycled once their last waiter has left, so steady-state
+// Do calls touch only previously-allocated memory.
+type coalesceGen[Req, Resp any] struct {
+	reqs    []Req
+	resps   []Resp
+	err     error
+	done    bool
+	readers int
+}
+
+// Coalescer batches blocking requests; see the package comment above. The
+// zero value is not usable, construct with NewCoalescer. All methods are
+// safe for concurrent use.
+type Coalescer[Req, Resp any] struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	flush    func(reqs []Req, resps []Resp) error
+	maxBatch int
+
+	expected int // announced producers that have not submitted or withdrawn
+	cur      *coalesceGen[Req, Resp]
+	free     []*coalesceGen[Req, Resp]
+	flushing bool
+
+	stats CoalesceStats
+}
+
+// NewCoalescer builds a coalescer around a flush function. flush receives
+// the batched requests and a response slice of equal length to fill;
+// returning an error fails every request of the batch with that error.
+// maxBatch bounds how many requests one flush may carry (<= 0 means
+// unbounded): a full batch flushes immediately without waiting for the
+// remaining announced producers.
+func NewCoalescer[Req, Resp any](maxBatch int, flush func(reqs []Req, resps []Resp) error) *Coalescer[Req, Resp] {
+	c := &Coalescer[Req, Resp]{flush: flush, maxBatch: maxBatch}
+	c.cond = sync.NewCond(&c.mu)
+	c.cur = &coalesceGen[Req, Resp]{}
+	return c
+}
+
+// Expect announces n upcoming Do or Forgo calls. The current batch will not
+// flush while announced calls are outstanding (unless it hits the cap), so
+// callers announce work as they dispatch it and the queue waits for the
+// whole wave before issuing one flush.
+func (c *Coalescer[Req, Resp]) Expect(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.expected += n
+	c.mu.Unlock()
+}
+
+// Forgo withdraws one announced call that will not arrive (the producer was
+// cancelled, or turned out to have nothing to ask). If that withdrawal
+// completes the wave, the pending batch flushes on this goroutine.
+func (c *Coalescer[Req, Resp]) Forgo() {
+	c.mu.Lock()
+	c.expected--
+	c.runFlushes()
+	c.mu.Unlock()
+}
+
+// Do submits one request and blocks until its batch has been flushed,
+// returning this request's response and the batch error, if any. Each Do
+// consumes one Expect announcement; a Do without a prior Expect flushes
+// immediately (a batch of whatever is queued). Steady-state Do calls perform
+// no allocation: batch buffers and generation records are recycled.
+func (c *Coalescer[Req, Resp]) Do(req Req) (Resp, error) {
+	c.mu.Lock()
+	gen := c.cur
+	idx := len(gen.reqs)
+	gen.reqs = append(gen.reqs, req)
+	gen.readers++
+	c.expected--
+	c.runFlushes()
+	for !gen.done {
+		c.cond.Wait()
+	}
+	resp := gen.resps[idx]
+	err := gen.err
+	c.release(gen)
+	c.mu.Unlock()
+	return resp, err
+}
+
+// release returns a fully-read generation to the free list.
+func (c *Coalescer[Req, Resp]) release(gen *coalesceGen[Req, Resp]) {
+	gen.readers--
+	if gen.readers == 0 && gen.done {
+		gen.reqs = gen.reqs[:0]
+		gen.resps = gen.resps[:0]
+		gen.err = nil
+		gen.done = false
+		c.free = append(c.free, gen)
+	}
+}
+
+// ready reports whether the current batch should flush now: a non-empty
+// queue with no announced producers outstanding, or a full batch. Callers
+// hold c.mu.
+func (c *Coalescer[Req, Resp]) ready() bool {
+	if len(c.cur.reqs) == 0 {
+		return false
+	}
+	if c.maxBatch > 0 && len(c.cur.reqs) >= c.maxBatch {
+		return true
+	}
+	return c.expected <= 0
+}
+
+// runFlushes drains ready batches on the calling goroutine. Only one
+// goroutine flushes at a time (the flush itself runs unlocked, so producers
+// keep queueing into the next generation meanwhile); after each flush the
+// trigger is re-evaluated, so a wave that completed during the flush is not
+// stranded. Callers hold c.mu.
+func (c *Coalescer[Req, Resp]) runFlushes() {
+	if c.flushing {
+		return
+	}
+	c.flushing = true
+	for c.ready() {
+		gen := c.cur
+		if n := len(c.free); n > 0 {
+			c.cur = c.free[n-1]
+			c.free = c.free[:n-1]
+		} else {
+			c.cur = &coalesceGen[Req, Resp]{}
+		}
+		c.stats.Flushes++
+		c.stats.Requests += len(gen.reqs)
+		if len(gen.reqs) > c.stats.MaxBatch {
+			c.stats.MaxBatch = len(gen.reqs)
+		}
+		for len(gen.resps) < len(gen.reqs) {
+			var zero Resp
+			gen.resps = append(gen.resps, zero)
+		}
+		c.mu.Unlock()
+		err := c.flush(gen.reqs, gen.resps)
+		c.mu.Lock()
+		gen.err = err
+		gen.done = true
+		// Every queued request has a Do waiter still registered (readers > 0),
+		// so the generation is recycled by its last reader, not here.
+		c.cond.Broadcast()
+	}
+	c.flushing = false
+}
+
+// Stats returns a snapshot of the amortization counters.
+func (c *Coalescer[Req, Resp]) Stats() CoalesceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

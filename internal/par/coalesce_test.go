@@ -1,0 +1,193 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestCoalescerBatchesWave: a wave of announced producers is served by one
+// flush carrying every request, and each producer reads its own slot.
+func TestCoalescerBatchesWave(t *testing.T) {
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		for i, r := range reqs {
+			resps[i] = r * 10
+		}
+		return nil
+	})
+	const n = 8
+	c.Expect(n)
+	var wg sync.WaitGroup
+	out := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = c.Do(i)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("Do(%d): %v", i, errs[i])
+		}
+		if out[i] != i*10 {
+			t.Fatalf("Do(%d) = %d, want %d", i, out[i], i*10)
+		}
+	}
+	s := c.Stats()
+	if s.Flushes != 1 || s.Requests != n || s.MaxBatch != n {
+		t.Fatalf("stats = %+v, want one flush of %d", s, n)
+	}
+}
+
+// TestCoalescerForgoCompletesWave: producers that withdraw still release the
+// batch; the flush carries only the submitted requests.
+func TestCoalescerForgoCompletesWave(t *testing.T) {
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		copy(resps, reqs)
+		return nil
+	})
+	c.Expect(3)
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			v, _ := c.Do(i)
+			done <- v
+		}(i)
+	}
+	// Neither Do can complete until the third announced producer resolves.
+	c.Forgo()
+	got := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		got[<-done] = true
+	}
+	if !got[0] || !got[1] {
+		t.Fatalf("responses lost: %v", got)
+	}
+	if s := c.Stats(); s.Flushes != 1 || s.Requests != 2 {
+		t.Fatalf("stats = %+v, want one flush of 2", s)
+	}
+}
+
+// TestCoalescerBatchCap: a full batch flushes without waiting for the rest
+// of the wave.
+func TestCoalescerBatchCap(t *testing.T) {
+	c := NewCoalescer(2, func(reqs []int, resps []int) error {
+		copy(resps, reqs)
+		return nil
+	})
+	c.Expect(3)
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			c.Do(i)
+			done <- struct{}{}
+		}(i)
+	}
+	// Two requests fill the cap and must flush even though a third producer
+	// is still announced.
+	<-done
+	<-done
+	if s := c.Stats(); s.Flushes != 1 || s.Requests != 2 {
+		t.Fatalf("stats = %+v, want a capped flush of 2", s)
+	}
+	c.Forgo()
+}
+
+// TestCoalescerFlushErrorFailsBatch: a flush error is delivered to every
+// waiter of that batch, and later batches recover.
+func TestCoalescerFlushErrorFailsBatch(t *testing.T) {
+	boom := errors.New("boom")
+	fail := true
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		if fail {
+			return boom
+		}
+		copy(resps, reqs)
+		return nil
+	})
+	c.Expect(1)
+	if _, err := c.Do(1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	fail = false
+	c.Expect(1)
+	if v, err := c.Do(7); err != nil || v != 7 {
+		t.Fatalf("recovered Do = %d, %v", v, err)
+	}
+}
+
+// TestCoalescerUnannouncedDoFlushesAlone: Do without Expect degrades to an
+// immediate single-request flush instead of deadlocking.
+func TestCoalescerUnannouncedDoFlushesAlone(t *testing.T) {
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		copy(resps, reqs)
+		return nil
+	})
+	if v, err := c.Do(3); err != nil || v != 3 {
+		t.Fatalf("Do = %d, %v", v, err)
+	}
+	if s := c.Stats(); s.Flushes != 1 || s.MaxBatch != 1 {
+		t.Fatalf("stats = %+v, want one flush of 1", s)
+	}
+}
+
+// TestCoalescerWaveDuringFlushIsNotStranded: a wave that completes while a
+// previous batch is mid-flush is picked up by the same flusher loop.
+func TestCoalescerWaveDuringFlushIsNotStranded(t *testing.T) {
+	inFlush := make(chan struct{})
+	proceed := make(chan struct{})
+	first := true
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		if first {
+			first = false
+			inFlush <- struct{}{}
+			<-proceed
+		}
+		copy(resps, reqs)
+		return nil
+	})
+	c.Expect(1)
+	r1 := make(chan int)
+	go func() { v, _ := c.Do(1); r1 <- v }()
+	<-inFlush // flusher is parked inside flush #1
+	c.Expect(1)
+	r2 := make(chan int)
+	go func() { v, _ := c.Do(2); r2 <- v }()
+	close(proceed)
+	if v := <-r1; v != 1 {
+		t.Fatalf("first wave = %d", v)
+	}
+	if v := <-r2; v != 2 {
+		t.Fatalf("second wave = %d", v)
+	}
+	if s := c.Stats(); s.Flushes != 2 || s.Requests != 2 {
+		t.Fatalf("stats = %+v, want two flushes", s)
+	}
+}
+
+// TestCoalescerSteadyStateAllocs is the CI alloc gate for the queue itself:
+// after warmup, an announce/submit/flush cycle allocates nothing — batch
+// buffers and generation records are recycled.
+func TestCoalescerSteadyStateAllocs(t *testing.T) {
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		copy(resps, reqs)
+		return nil
+	})
+	// Warm the free list and batch buffers.
+	for i := 0; i < 4; i++ {
+		c.Expect(1)
+		c.Do(i)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		c.Expect(1)
+		if _, err := c.Do(5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state coalescer cycle allocates %.1f objects, want 0", avg)
+	}
+}

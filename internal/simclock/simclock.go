@@ -127,12 +127,21 @@ func (c *Clock) Count(k Kind) int64 {
 	return total
 }
 
-// Seconds returns the total model time across all phases.
+// Seconds returns the total model time across all phases. Phases are summed
+// in sorted-name order: floating-point addition is grouping-sensitive, so
+// iterating the phase map directly would make the last few bits of the total
+// vary run to run even for identical charge counts.
 func (c *Clock) Seconds() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	phases := make([]string, 0, len(c.counts))
+	for p := range c.counts {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
 	total := 0.0
-	for _, b := range c.counts {
+	for _, p := range phases {
+		b := c.counts[p]
 		for k := Kind(0); k < numKinds; k++ {
 			total += float64(b[k]) * c.model[k]
 		}

@@ -21,7 +21,7 @@ go test -run='^$' -fuzz='^FuzzReadGDS$' -fuzztime=10s ./internal/gds
 # 100-iteration FFT benchmark smoke (both engines), and a deadline-bounded
 # quick A/B bench writing outside the tree so the clean-tree guard stays
 # meaningful on reruns.
-go test -timeout 120s -run='ZeroAlloc|SteadyStateAllocs|HotPathZeroAlloc' ./internal/fft ./internal/litho ./internal/ilt ./internal/nn ./internal/tensor
+go test -timeout 120s -run='ZeroAlloc|SteadyStateAllocs|HotPathZeroAlloc' ./internal/fft ./internal/litho ./internal/ilt ./internal/nn ./internal/tensor ./internal/par ./internal/model
 go test -run='^$' -bench='^BenchmarkFFT' -benchtime=100x ./internal/fft
 tmpout="$(mktemp -d)"
 trap 'rm -rf "$tmpout"' EXIT
@@ -33,3 +33,11 @@ go run ./cmd/ldmo-bench -exp fftbench -fast -deadline 120s -out "$tmpout"
 # naive-vs-blocked A/B bench proves the folded path stays zero-alloc and the
 # blocked engine stays ahead.
 go run ./cmd/ldmo-bench -exp nnbench -fast -deadline 120s -out "$tmpout"
+
+# Pipeline gates: the bitwise serial==pipelined golden, the coalescer, and the
+# mid-pipeline cancellation/fault-injection drains already run under -race via
+# ./internal/core ./internal/par above, and the alloc line asserts the
+# coalescing queue and shared prediction buffers add zero steady-state
+# allocations; here the quick stage-at-a-time vs pipelined A/B bench
+# cross-checks identity end to end and records the coalescing factor.
+go run ./cmd/ldmo-bench -exp pipebench -fast -deadline 120s -out "$tmpout"
