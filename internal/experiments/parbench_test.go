@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParbenchRecordsHostConstraint pins the constrained-host contract: a
+// GOMAXPROCS=1 run must record gomaxprocs/numcpu in the JSON artifact, set
+// the constrained flag, warn in the progress log, and banner the rendered
+// summary — otherwise single-core speedup numbers get read as real scaling.
+func TestParbenchRecordsHostConstraint(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	var log bytes.Buffer
+	b, err := RunParallelBench(Options{Fast: true, Seed: 1, Workers: 2, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GOMAXPROCS != 1 || b.NumCPU != runtime.NumCPU() || !b.Constrained {
+		t.Fatalf("host recording: gomaxprocs=%d numcpu=%d constrained=%v", b.GOMAXPROCS, b.NumCPU, b.Constrained)
+	}
+	if !strings.Contains(log.String(), "WARNING: GOMAXPROCS=1") {
+		t.Fatalf("constrained run must warn in the log, got %q", log.String())
+	}
+
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"gomaxprocs":1`, `"numcpu":`, `"constrained":true`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("BENCH_parallel.json record lost %s: %s", key, data)
+		}
+	}
+
+	var rendered bytes.Buffer
+	b.Render(&rendered)
+	if !strings.Contains(rendered.String(), "CONSTRAINED RUN") {
+		t.Fatal("rendered summary must banner the constrained run")
+	}
+}

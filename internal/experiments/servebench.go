@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ldmo/internal/par"
+	"ldmo/internal/serve"
+)
+
+// ServeBench is the machine-readable record of the job-service benchmark that
+// cmd/ldmo-bench writes to BENCH_serve.json: end-to-end submit->done latency
+// percentiles, throughput, and load-shedding behavior of internal/serve under
+// a multi-client burst that deliberately overflows the admission queue.
+type ServeBench struct {
+	// Jobs is the total distinct jobs completed; Clients the concurrent
+	// submitters; QueueCap the admission bound (sized below the burst so the
+	// bench exercises shedding, not just the happy path).
+	Jobs     int `json:"jobs"`
+	Clients  int `json:"clients"`
+	QueueCap int `json:"queue_cap"`
+	// Workers / GOMAXPROCS / NumCPU describe the executor and host;
+	// Constrained flags a GOMAXPROCS=1 run, where latency includes queueing
+	// behind a single lane and throughput cannot exceed serial flow speed.
+	Workers     int  `json:"workers"`
+	GOMAXPROCS  int  `json:"gomaxprocs"`
+	NumCPU      int  `json:"numcpu"`
+	Constrained bool `json:"constrained"`
+	// Submitted counts POST attempts including shed retries; Shed the 429s.
+	Submitted int     `json:"submitted"`
+	Shed      int     `json:"shed"`
+	ShedRate  float64 `json:"shed_rate"`
+	Failed    int     `json:"failed"`
+	// Wall-clock throughput and end-to-end (first submit attempt -> done)
+	// latency distribution.
+	WallSec       float64 `json:"wall_sec"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	LatencyP50Sec float64 `json:"latency_p50_sec"`
+	LatencyP99Sec float64 `json:"latency_p99_sec"`
+	LatencyMaxSec float64 `json:"latency_max_sec"`
+	// CacheHits / CacheP50Sec measure the dedupe path: every job resubmitted
+	// after completion must return its stored result without recomputation.
+	CacheHits   int     `json:"cache_hits"`
+	CacheP50Sec float64 `json:"cache_p50_sec"`
+}
+
+// RunServeBench stands up an in-process serve.Server plus HTTP front end,
+// drives it with concurrent clients submitting distinct generated layouts,
+// and measures latency percentiles, throughput, and shed rate. The queue is
+// sized below the burst on purpose: a serving benchmark that never sheds says
+// nothing about overload behavior.
+func RunServeBench(o Options) (ServeBench, error) {
+	ctx := o.context()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	clients := 3
+	perClient := 8
+	if o.Fast {
+		perClient = 3
+	}
+	out := ServeBench{
+		Jobs:       clients * perClient,
+		Clients:    clients,
+		QueueCap:   clients * perClient / 3,
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	out.Constrained = out.GOMAXPROCS == 1
+	if out.Constrained {
+		o.logf("servebench: WARNING: GOMAXPROCS=1 (numcpu=%d) — jobs queue behind a single flow lane, so latency percentiles include serialization; marking the record constrained\n", out.NumCPU)
+	}
+
+	dir, err := os.MkdirTemp("", "ldmo-servebench-")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := serve.NewServer(serve.Config{
+		Dir:      dir,
+		QueueCap: out.QueueCap,
+		Workers:  workers,
+		Scorer:   o.Predictor, // nil means generator order — fine for a serving bench
+	})
+	if err != nil {
+		return out, err
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Drain(ctx)
+	}()
+
+	type sample struct {
+		latency time.Duration
+		id      string
+		body    string
+		err     error
+	}
+	samples := make([]sample, out.Jobs)
+	var mu sync.Mutex
+	shed, submitted := 0, 0
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			hc := ts.Client()
+			// Burst phase: fire the whole batch before waiting on anything —
+			// that is what overflows the queue and exercises shedding.
+			starts := make([]time.Time, perClient)
+			for j := 0; j < perClient; j++ {
+				idx := c*perClient + j
+				seed := o.Seed + int64(idx)
+				body := fmt.Sprintf(`{"gen_seed":%d,"fast":%v,"max_attempts":1}`, seed, o.Fast)
+				starts[j] = time.Now()
+				id, nShed, nSub, err := submitUntilAccepted(ctx, hc, ts.URL, fmt.Sprintf("client%d", c), body)
+				mu.Lock()
+				shed += nShed
+				submitted += nSub
+				mu.Unlock()
+				samples[idx] = sample{id: id, body: body, err: err}
+			}
+			// Drain phase: end-to-end latency is first submit attempt -> done.
+			for j := 0; j < perClient; j++ {
+				idx := c*perClient + j
+				if samples[idx].err != nil {
+					continue
+				}
+				samples[idx].err = waitServeJob(ctx, hc, ts.URL, samples[idx].id)
+				samples[idx].latency = time.Since(starts[j])
+			}
+		}(c)
+	}
+	wg.Wait()
+	out.WallSec = time.Since(start).Seconds()
+
+	var latencies []time.Duration
+	for _, sm := range samples {
+		if sm.err != nil {
+			out.Failed++
+			o.logf("servebench: job %s: %v\n", sm.id, sm.err)
+			continue
+		}
+		latencies = append(latencies, sm.latency)
+	}
+	out.Submitted = submitted
+	out.Shed = shed
+	if submitted > 0 {
+		out.ShedRate = float64(shed) / float64(submitted)
+	}
+	if out.WallSec > 0 {
+		out.JobsPerSec = float64(len(latencies)) / out.WallSec
+	}
+	out.LatencyP50Sec = percentile(latencies, 0.50)
+	out.LatencyP99Sec = percentile(latencies, 0.99)
+	out.LatencyMaxSec = percentile(latencies, 1.00)
+
+	// Dedupe pass: every completed job resubmitted must come back cached.
+	var cacheLat []time.Duration
+	hc := ts.Client()
+	for _, sm := range samples {
+		if sm.err != nil {
+			continue
+		}
+		t0 := time.Now()
+		resp, err := hc.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sm.body))
+		if err != nil {
+			return out, err
+		}
+		cached := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if cached {
+			out.CacheHits++
+			cacheLat = append(cacheLat, time.Since(t0))
+		}
+	}
+	out.CacheP50Sec = percentile(cacheLat, 0.50)
+
+	o.logf("servebench: %d jobs, %d clients, queue %d: p50 %.3fs p99 %.3fs, %.2f jobs/s, shed %d/%d (%.0f%%), cache hits %d\n",
+		len(latencies), clients, out.QueueCap, out.LatencyP50Sec, out.LatencyP99Sec,
+		out.JobsPerSec, shed, submitted, out.ShedRate*100, out.CacheHits)
+	return out, nil
+}
+
+// submitUntilAccepted POSTs the job, backing off briefly on 429 shed, and
+// returns the job ID plus shed/attempt counts.
+func submitUntilAccepted(ctx interface{ Err() error }, hc *http.Client, base, client, body string) (string, int, int, error) {
+	shed, attempts := 0, 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", shed, attempts, err
+		}
+		attempts++
+		req, err := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			return "", shed, attempts, err
+		}
+		req.Header.Set("X-LDMO-Client", client)
+		resp, err := hc.Do(req)
+		if err != nil {
+			return "", shed, attempts, err
+		}
+		var sr serve.SubmitResponse
+		json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			return sr.ID, shed, attempts, nil
+		case http.StatusTooManyRequests:
+			shed++
+			time.Sleep(25 * time.Millisecond)
+		default:
+			return "", shed, attempts, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+	}
+}
+
+// waitServeJob polls the job until it settles.
+func waitServeJob(ctx interface{ Err() error }, hc *http.Client, base, id string) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := hc.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var sr serve.SubmitResponse
+		json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		switch sr.Status {
+		case serve.StatusDone:
+			return nil
+		case serve.StatusFailed:
+			return fmt.Errorf("job failed: %s", sr.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// percentile returns the p-quantile of ds in seconds (nearest-rank; 0 for an
+// empty set).
+func percentile(ds []time.Duration, p float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Seconds()
+}
+
+// WriteJSON writes the bench record to path.
+func (b ServeBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the human-readable summary.
+func (b ServeBench) Render(w io.Writer) {
+	fmt.Fprintln(w, "Job service benchmark")
+	fmt.Fprintf(w, "jobs %d  clients %d  queue cap %d  workers %d (GOMAXPROCS %d, numcpu %d)\n",
+		b.Jobs, b.Clients, b.QueueCap, b.Workers, b.GOMAXPROCS, b.NumCPU)
+	fmt.Fprintf(w, "latency p50 %.3fs  p99 %.3fs  max %.3fs  throughput %.2f jobs/s over %.2fs\n",
+		b.LatencyP50Sec, b.LatencyP99Sec, b.LatencyMaxSec, b.JobsPerSec, b.WallSec)
+	fmt.Fprintf(w, "shed %d of %d submissions (%.0f%%)  failed %d  cache hits %d (p50 %.4fs)\n",
+		b.Shed, b.Submitted, b.ShedRate*100, b.Failed, b.CacheHits, b.CacheP50Sec)
+	if b.Constrained {
+		fmt.Fprintln(w, "*** CONSTRAINED RUN: GOMAXPROCS=1 — latency includes serialization behind one flow lane ***")
+	}
+}

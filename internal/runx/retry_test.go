@@ -1,0 +1,223 @@
+package runx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested backoffs without waiting.
+type fakeSleep struct {
+	ds []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.ds = append(f.ds, d)
+	return ctx.Err()
+}
+
+func TestRetryFirstAttemptSucceeds(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Sleep: fs.sleep}, func(attempt int) error {
+		calls++
+		if attempt != 1 {
+			t.Fatalf("attempt numbering starts at %d, want 1", attempt)
+		}
+		return nil
+	})
+	if err != nil || calls != 1 || len(fs.ds) != 0 {
+		t.Fatalf("clean first attempt: err=%v calls=%d sleeps=%v", err, calls, fs.ds)
+	}
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Attempts: 5, Sleep: fs.sleep}, func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry failed despite eventual success: %v", err)
+	}
+	if calls != 3 || len(fs.ds) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 and 2", calls, len(fs.ds))
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	fs := &fakeSleep{}
+	boom := errors.New("always fails")
+	err := Retry(context.Background(), RetryConfig{Attempts: 3, Sleep: fs.sleep}, func(int) error {
+		return boom
+	})
+	re, ok := AsRetry(err)
+	if !ok {
+		t.Fatalf("give-up error %T is not a RetryError", err)
+	}
+	if re.Attempts != 3 || re.Permanent {
+		t.Fatalf("RetryError = %+v, want 3 non-permanent attempts", re)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("RetryError must unwrap to the last attempt's error")
+	}
+}
+
+func TestRetryPermanentClassification(t *testing.T) {
+	fs := &fakeSleep{}
+	fatal := errors.New("bad input")
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{
+		Attempts:  5,
+		Sleep:     fs.sleep,
+		Retryable: func(err error) bool { return !errors.Is(err, fatal) },
+	}, func(int) error {
+		calls++
+		return fatal
+	})
+	re, ok := AsRetry(err)
+	if !ok || !re.Permanent || re.Attempts != 1 || calls != 1 {
+		t.Fatalf("permanent error retried: err=%v calls=%d", err, calls)
+	}
+	if len(fs.ds) != 0 {
+		t.Fatal("permanent error must not back off")
+	}
+}
+
+func TestRetryInterruptedAttemptNotRetried(t *testing.T) {
+	fs := &fakeSleep{}
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Attempts: 5, Sleep: fs.sleep}, func(int) error {
+		calls++
+		return fmt.Errorf("run stopped: %w", context.DeadlineExceeded)
+	})
+	re, ok := AsRetry(err)
+	if !ok || calls != 1 || re.Attempts != 1 {
+		t.Fatalf("interrupted attempt was retried: err=%v calls=%d", err, calls)
+	}
+	if !Interrupted(err) {
+		t.Fatal("RetryError must preserve the Interrupted classification")
+	}
+}
+
+func TestRetryDeadContextBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, RetryConfig{Sleep: (&fakeSleep{}).sleep}, func(int) error {
+		calls++
+		return nil
+	})
+	re, ok := AsRetry(err)
+	if !ok || calls != 0 || re.Attempts != 0 {
+		t.Fatalf("dead context still attempted: err=%v calls=%d", err, calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("give-up must carry the context error, got %v", err)
+	}
+}
+
+func TestRetryRefusesSleepPastDeadline(t *testing.T) {
+	// The remaining budget (10ms) cannot cover the first backoff (>=25s), so
+	// the retry gives up immediately instead of sleeping into the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	fs := &fakeSleep{}
+	calls := 0
+	start := time.Now()
+	err := Retry(ctx, RetryConfig{
+		Attempts: 5,
+		Base:     50 * time.Second,
+		Sleep:    fs.sleep,
+	}, func(int) error {
+		calls++
+		return errors.New("transient")
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry slept toward a dead deadline (%v)", elapsed)
+	}
+	re, ok := AsRetry(err)
+	if !ok || calls != 1 || re.Attempts != 1 {
+		t.Fatalf("deadline-doomed backoff not short-circuited: err=%v calls=%d", err, calls)
+	}
+	if len(fs.ds) != 0 {
+		t.Fatalf("slept %v despite doomed deadline", fs.ds)
+	}
+}
+
+func TestRetryBackoffScheduleDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		fs := &fakeSleep{}
+		Retry(context.Background(), RetryConfig{
+			Attempts: 5,
+			Base:     100 * time.Millisecond,
+			Max:      time.Second,
+			Seed:     7,
+			Sleep:    fs.sleep,
+		}, func(int) error { return errors.New("x") })
+		return fs.ds
+	}
+	a, b := schedule(), schedule()
+	if len(a) != 4 {
+		t.Fatalf("5 attempts must back off 4 times, got %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter schedule not reproducible: %v vs %v", a, b)
+		}
+	}
+	// Exponential shape with 50% jitter: each backoff lies in [d/2, d] for
+	// d = min(base*2^i, max).
+	want := []time.Duration{100, 200, 400, 800}
+	for i, d := range a {
+		lo, hi := want[i]*time.Millisecond/2, want[i]*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("backoff %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestRetryBackoffSaturates(t *testing.T) {
+	fs := &fakeSleep{}
+	Retry(context.Background(), RetryConfig{
+		Attempts: 12,
+		Base:     time.Millisecond,
+		Max:      8 * time.Millisecond,
+		Jitter:   0, // exact doubling, no randomization
+		Sleep:    fs.sleep,
+	}, func(int) error { return errors.New("x") })
+	want := []time.Duration{1, 2, 4, 8, 8, 8, 8, 8, 8, 8, 8}
+	if len(fs.ds) != len(want) {
+		t.Fatalf("got %d backoffs, want %d", len(fs.ds), len(want))
+	}
+	for i, d := range fs.ds {
+		if d != want[i]*time.Millisecond {
+			t.Fatalf("backoff %d = %v, want %v (schedule %v)", i, d, want[i]*time.Millisecond, fs.ds)
+		}
+	}
+}
+
+func TestRetryCancelledDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryConfig{
+		Attempts: 5,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // the context dies mid-backoff
+			return ctx.Err()
+		},
+	}, func(int) error {
+		calls++
+		return errors.New("transient")
+	})
+	re, ok := AsRetry(err)
+	if !ok || calls != 1 || re.Attempts != 1 {
+		t.Fatalf("cancellation during backoff not honored: err=%v calls=%d", err, calls)
+	}
+}

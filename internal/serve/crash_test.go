@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the crash-test daemon: when LDMO_SERVE_CRASH_DAEMON is
+// set, the test binary re-execs into a real ldmo-serve-shaped process that the
+// parent test can SIGKILL — the only honest way to test crash recovery.
+func TestMain(m *testing.M) {
+	if os.Getenv("LDMO_SERVE_CRASH_DAEMON") == "1" {
+		crashDaemon()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func crashDaemon() {
+	s, err := NewServer(Config{Dir: os.Getenv("LDMO_SERVE_CRASH_DIR"), Workers: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The parent reads the address from the first stdout line.
+	fmt.Printf("ADDR %s\n", ln.Addr())
+	http.Serve(ln, s.Handler())
+}
+
+// crashSpecs are the jobs both crash tests replay: cheap, deterministic, and
+// free of wall budgets (wall budgets are machine-dependent and would make the
+// byte-identity assertion meaningless).
+var crashSpecs = []string{genJob(11), genJob(12), genJob(13)}
+
+// referenceResults computes the clean-run result bytes for crashSpecs on a
+// fresh server, keyed by job ID.
+func referenceResults(t *testing.T) map[string]string {
+	t.Helper()
+	s, ts := newTestServer(t, nil)
+	s.Start()
+	ref := map[string]string{}
+	for _, body := range crashSpecs {
+		code, sr, _ := submit(t, ts, "ref", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("reference submit: %d", code)
+		}
+		st := waitJob(t, ts, sr.ID)
+		if st.Status != StatusDone {
+			t.Fatalf("reference job %s: %q (%s)", sr.ID, st.Status, st.Error)
+		}
+		b, err := json.Marshal(st.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[sr.ID] = string(b)
+	}
+	return ref
+}
+
+// TestKillAndRestartZeroJobLoss is the in-process crash drill: accept jobs,
+// hard-stop the executor mid-flight without any drain, stand a second server
+// up on the same store, and require every accepted job to finish with result
+// bytes identical to an uninterrupted run.
+func TestKillAndRestartZeroJobLoss(t *testing.T) {
+	ref := referenceResults(t)
+	dir := t.TempDir()
+
+	first, err := NewServer(Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(first.Handler())
+	first.Start()
+	var ids []string
+	for _, body := range crashSpecs {
+		code, sr, _ := submit(t, ts1, "c", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d", code)
+		}
+		ids = append(ids, sr.ID)
+	}
+	// Kill mid-flight: cancel the executor's context with no drain, no
+	// checkpoint — the moral equivalent of a power cut after the 202s.
+	time.Sleep(30 * time.Millisecond)
+	first.runCancel()
+	<-first.done
+	ts1.Close()
+
+	second, ts2 := newTestServerOn(t, dir)
+	second.Start()
+	for _, id := range ids {
+		st := waitJob(t, ts2, id)
+		if st.Status != StatusDone || st.Result == nil {
+			t.Fatalf("job %s after restart: %q (%s), want done", id, st.Status, st.Error)
+		}
+		b, _ := json.Marshal(st.Result)
+		if string(b) != ref[id] {
+			t.Errorf("job %s result bytes differ after crash:\n restart: %s\n clean:   %s", id, b, ref[id])
+		}
+	}
+}
+
+// newTestServerOn is newTestServer pinned to an existing store directory.
+func newTestServerOn(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// startCrashDaemon re-execs the test binary as a serve daemon on dir and
+// returns the process plus its base URL.
+func startCrashDaemon(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"LDMO_SERVE_CRASH_DAEMON=1",
+		"LDMO_SERVE_CRASH_DIR="+dir,
+	)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(out).ReadString('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("daemon produced no address: %v", err)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "ADDR"))
+	return cmd, "http://" + strings.TrimSpace(addr)
+}
+
+// TestSIGKILLDaemonRecovers runs the drill against a real process killed with
+// an uncatchable SIGKILL: accepted jobs must survive the corpse and complete
+// on the next daemon with clean-run result bytes.
+func TestSIGKILLDaemonRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash drill skipped in -short")
+	}
+	ref := referenceResults(t)
+	dir := t.TempDir()
+
+	daemon1, base1 := startCrashDaemon(t, dir)
+	var ids []string
+	for _, body := range crashSpecs {
+		resp, err := http.Post(base1+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr SubmitResponse
+		json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+		ids = append(ids, sr.ID)
+	}
+	time.Sleep(50 * time.Millisecond) // let the executor get mid-flight
+	if err := daemon1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon1.Wait()
+
+	daemon2, base2 := startCrashDaemon(t, dir)
+	defer func() {
+		daemon2.Process.Kill()
+		daemon2.Wait()
+	}()
+	for _, id := range ids {
+		st := waitDaemonJob(t, base2, id)
+		if st.Status != StatusDone || st.Result == nil {
+			t.Fatalf("job %s after SIGKILL restart: %q (%s)", id, st.Status, st.Error)
+		}
+		b, _ := json.Marshal(st.Result)
+		if string(b) != ref[id] {
+			t.Errorf("job %s bytes differ after SIGKILL:\n restart: %s\n clean:   %s", id, b, ref[id])
+		}
+	}
+}
+
+func waitDaemonJob(t *testing.T, base, id string) State {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr SubmitResponse
+		json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if sr.Status == StatusDone || sr.Status == StatusFailed {
+			return sr.State
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never settled on the restarted daemon", id)
+	return State{}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import "sync"
+
+// fairQueue is the bounded admission queue: per-client FIFO lanes served
+// round-robin, so one client flooding the server delays only itself, and a
+// hard capacity so overload turns into load shedding (the caller's 429)
+// instead of unbounded memory growth.
+type fairQueue struct {
+	mu       sync.Mutex
+	capacity int
+	n        int
+	pending  map[string][]string // client -> job IDs, FIFO
+	ring     []string            // clients with pending work, round-robin order
+	rr       int                 // next ring slot to serve
+}
+
+func newFairQueue(capacity int) *fairQueue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &fairQueue{capacity: capacity, pending: map[string][]string{}}
+}
+
+// Len returns the queued-job count.
+func (q *fairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Full reports whether the queue is at capacity.
+func (q *fairQueue) Full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n >= q.capacity
+}
+
+// Push enqueues a job for a client; false means the queue is full and the
+// submission must be shed.
+func (q *fairQueue) Push(client, id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n >= q.capacity {
+		return false
+	}
+	if _, ok := q.pending[client]; !ok {
+		q.ring = append(q.ring, client)
+	}
+	q.pending[client] = append(q.pending[client], id)
+	q.n++
+	return true
+}
+
+// Pop dequeues the next job round-robin across clients, FIFO within each.
+func (q *fairQueue) Pop() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return "", false
+	}
+	if q.rr >= len(q.ring) {
+		q.rr = 0
+	}
+	client := q.ring[q.rr]
+	lane := q.pending[client]
+	id := lane[0]
+	if len(lane) == 1 {
+		delete(q.pending, client)
+		q.ring = append(q.ring[:q.rr], q.ring[q.rr+1:]...)
+		// q.rr now indexes the next client already.
+	} else {
+		q.pending[client] = lane[1:]
+		q.rr++
+	}
+	q.n--
+	return id, true
+}
+
+// Remove deletes a specific queued job (admission rollback when persisting
+// an accepted job fails). Reports whether the job was found.
+func (q *fairQueue) Remove(client, id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	lane, ok := q.pending[client]
+	if !ok {
+		return false
+	}
+	for i, jid := range lane {
+		if jid != id {
+			continue
+		}
+		lane = append(lane[:i], lane[i+1:]...)
+		if len(lane) == 0 {
+			delete(q.pending, client)
+			for ri, c := range q.ring {
+				if c == client {
+					q.ring = append(q.ring[:ri], q.ring[ri+1:]...)
+					if q.rr > ri {
+						q.rr--
+					}
+					break
+				}
+			}
+		} else {
+			q.pending[client] = lane
+		}
+		q.n--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package serve
+
+import "testing"
+
+func TestQueueBoundedAndSheds(t *testing.T) {
+	q := newFairQueue(2)
+	if !q.Push("a", "j1") || !q.Push("a", "j2") {
+		t.Fatal("pushes under capacity must succeed")
+	}
+	if q.Push("a", "j3") {
+		t.Fatal("push beyond capacity must be refused")
+	}
+	if q.Push("b", "j4") {
+		t.Fatal("capacity is global, not per-client")
+	}
+	if !q.Full() || q.Len() != 2 {
+		t.Fatalf("Full=%v Len=%d, want full with 2", q.Full(), q.Len())
+	}
+	q.Pop()
+	if q.Full() {
+		t.Fatal("queue must unfill after a pop")
+	}
+	if !q.Push("b", "j4") {
+		t.Fatal("freed slot must be usable")
+	}
+}
+
+func TestQueueRoundRobinFairness(t *testing.T) {
+	q := newFairQueue(16)
+	// Client a floods first; b and c each submit one job afterward.
+	for _, id := range []string{"a1", "a2", "a3", "a4"} {
+		q.Push("a", id)
+	}
+	q.Push("b", "b1")
+	q.Push("c", "c1")
+	var got []string
+	for {
+		id, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, id)
+	}
+	// Round-robin: a, b, c each get a turn per cycle; a's flood only delays a.
+	want := []string{"a1", "b1", "c1", "a2", "a3", "a4"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v (fairness violated at %d)", got, want, i)
+		}
+	}
+}
+
+func TestQueuePerClientFIFO(t *testing.T) {
+	q := newFairQueue(8)
+	q.Push("a", "a1")
+	q.Push("a", "a2")
+	q.Push("a", "a3")
+	for _, want := range []string{"a1", "a2", "a3"} {
+		if id, ok := q.Pop(); !ok || id != want {
+			t.Fatalf("Pop = %q, want %q", id, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue must report not-ok")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newFairQueue(8)
+	q.Push("a", "a1")
+	q.Push("a", "a2")
+	q.Push("b", "b1")
+	if !q.Remove("a", "a2") {
+		t.Fatal("Remove of queued job must succeed")
+	}
+	if q.Remove("a", "a2") || q.Remove("x", "nope") {
+		t.Fatal("Remove of absent job must report false")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after remove, want 2", q.Len())
+	}
+	// Removing a client's last job must drop its ring slot without breaking
+	// rotation.
+	if !q.Remove("b", "b1") {
+		t.Fatal("Remove of b's only job must succeed")
+	}
+	if id, ok := q.Pop(); !ok || id != "a1" {
+		t.Fatalf("Pop after removes = %q, want a1", id)
+	}
+}

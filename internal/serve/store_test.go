@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldmo/internal/artifact"
+	"ldmo/internal/faultinject"
+)
+
+func testSpec(seed int64) JobSpec {
+	return JobSpec{GenSeed: &seed, Fast: true, MaxAttempts: 1}
+}
+
+func TestStoreRoundtrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(7)
+	id := spec.ID()
+	if err := st.PutSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	state := State{ID: id, Client: "c1", Status: StatusQueued, SubmittedUnix: 100}
+	if err := st.PutState(state); err != nil {
+		t.Fatal(err)
+	}
+	gotSpec, err := st.GetSpec(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec.ID() != id {
+		t.Fatalf("spec roundtrip changed identity: %s != %s", gotSpec.ID(), id)
+	}
+	gotState, err := st.GetState(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotState != state {
+		t.Fatalf("state roundtrip: %+v != %+v", gotState, state)
+	}
+}
+
+func TestRecoverRequeuesQueuedAndRunning(t *testing.T) {
+	st, _ := OpenStore(t.TempDir())
+	specQ, specR, specD := testSpec(1), testSpec(2), testSpec(3)
+	idQ, idR, idD := specQ.ID(), specR.ID(), specD.ID()
+	st.PutSpec(idQ, specQ)
+	st.PutState(State{ID: idQ, Status: StatusQueued, SubmittedUnix: 1})
+	st.PutSpec(idR, specR)
+	st.PutState(State{ID: idR, Status: StatusRunning, StartedUnix: 5, SubmittedUnix: 2})
+	st.PutSpec(idD, specD)
+	st.PutState(State{ID: idD, Status: StatusDone, Result: &Result{Decomposition: "x"}, SubmittedUnix: 3})
+
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 3 || len(rep.Lost) != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	byID := map[string]RecoveredJob{}
+	for _, j := range rep.Jobs {
+		byID[j.State.ID] = j
+	}
+	if j := byID[idQ]; !j.Requeued || j.State.Status != StatusQueued {
+		t.Fatalf("queued job not requeued: %+v", j.State)
+	}
+	if j := byID[idR]; !j.Requeued || j.State.Status != StatusQueued || j.State.StartedUnix != 0 {
+		t.Fatalf("running job must requeue as queued with cleared start: %+v", j.State)
+	}
+	if j := byID[idD]; j.Requeued || j.State.Status != StatusDone || j.State.Result == nil {
+		t.Fatalf("done job must survive untouched: %+v", j.State)
+	}
+	// Submission order is preserved for fair requeue.
+	if rep.Jobs[0].State.ID != idQ || rep.Jobs[1].State.ID != idR {
+		t.Fatalf("recovery order not submission order: %v, %v", rep.Jobs[0].State.ID, rep.Jobs[1].State.ID)
+	}
+}
+
+func TestRecoverCrashBetweenSpecAndState(t *testing.T) {
+	st, _ := OpenStore(t.TempDir())
+	spec := testSpec(4)
+	id := spec.ID()
+	st.PutSpec(id, spec) // crash before the first state write
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 1 || !rep.Jobs[0].Requeued || rep.Jobs[0].State.Status != StatusQueued {
+		t.Fatalf("spec-only job must requeue: %+v", rep)
+	}
+}
+
+// tornStateRecovery is the shared body of the artifact-truncate and
+// artifact-bitflip cases: a done job's state envelope is corrupted at rest,
+// recovery must quarantine exactly that envelope and requeue the job from
+// its intact spec.
+func tornStateRecovery(t *testing.T, point string) {
+	t.Helper()
+	defer faultinject.Reset()
+	st, _ := OpenStore(t.TempDir())
+	spec := testSpec(5)
+	id := spec.ID()
+	st.PutSpec(id, spec)
+	st.PutState(State{
+		ID: id, Client: "c", Status: StatusDone, SubmittedUnix: 9,
+		Result: &Result{Decomposition: "d", M1SHA256: "aa"},
+	})
+
+	// Arm the one-shot fault: the next read of a *.state file observes
+	// in-place corruption on disk, exactly like at-rest bit rot / torn write.
+	faultinject.Set(point, ".state")
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 1 {
+		t.Fatalf("job lost to a torn state file: %+v", rep)
+	}
+	j := rep.Jobs[0]
+	if !j.Requeued || j.State.Status != StatusQueued || j.State.Result != nil {
+		t.Fatalf("torn state must requeue fresh: %+v", j.State)
+	}
+	if j.Spec.ID() != id {
+		t.Fatal("requeued job must keep its original spec")
+	}
+	q := st.statePath(id) + artifact.QuarantineSuffix
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("torn envelope not quarantined at %s: %v", q, err)
+	}
+	// The rebuilt state envelope must now read cleanly.
+	if got, err := st.GetState(id); err != nil || got.Status != StatusQueued {
+		t.Fatalf("post-recovery state unreadable: %+v, %v", got, err)
+	}
+}
+
+func TestRecoverQuarantinesTruncatedState(t *testing.T) {
+	tornStateRecovery(t, faultinject.ArtifactTruncate)
+}
+
+func TestRecoverQuarantinesBitflippedState(t *testing.T) {
+	tornStateRecovery(t, faultinject.ArtifactBitflip)
+}
+
+func TestRecoverCorruptSpecIsLostNotFatal(t *testing.T) {
+	defer faultinject.Reset()
+	st, _ := OpenStore(t.TempDir())
+	bad, good := testSpec(6), testSpec(7)
+	st.PutSpec(bad.ID(), bad)
+	st.PutState(State{ID: bad.ID(), Status: StatusQueued})
+	st.PutSpec(good.ID(), good)
+	st.PutState(State{ID: good.ID(), Status: StatusQueued})
+
+	faultinject.Set(faultinject.ArtifactTruncate, bad.ID()+".spec")
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lost) != 1 || rep.Lost[0] != bad.ID() {
+		t.Fatalf("damaged spec must report the job lost: %+v", rep)
+	}
+	if len(rep.Jobs) != 1 || rep.Jobs[0].Spec.ID() != good.ID() {
+		t.Fatalf("healthy sibling must survive: %+v", rep)
+	}
+	// Both of the lost job's envelopes are quarantined for inspection.
+	for _, p := range []string{st.specPath(bad.ID()), st.statePath(bad.ID())} {
+		if _, err := os.Stat(p + artifact.QuarantineSuffix); err != nil {
+			t.Fatalf("%s not quarantined: %v", p, err)
+		}
+		if _, err := os.Stat(p); err == nil {
+			t.Fatalf("%s still present after quarantine", p)
+		}
+	}
+}
+
+func TestRecoverIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := OpenStore(dir)
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a job"), 0o644)
+	os.WriteFile(filepath.Join(dir, "stray.state"), []byte("orphan state"), 0o644)
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 0 || len(rep.Lost) != 0 {
+		t.Fatalf("foreign files misread as jobs: %+v", rep)
+	}
+}
+
+func TestJobIDContentAddressing(t *testing.T) {
+	a, b := testSpec(1), testSpec(1)
+	if a.ID() != b.ID() {
+		t.Fatal("identical specs must share an ID")
+	}
+	c := testSpec(2)
+	if a.ID() == c.ID() {
+		t.Fatal("different layouts must get different IDs")
+	}
+	d := testSpec(1)
+	d.Fast = false
+	if a.ID() == d.ID() {
+		t.Fatal("different flow options must get different IDs (they change the result)")
+	}
+	if !strings.HasPrefix(a.ID(), "j-") || len(a.ID()) != 18 {
+		t.Fatalf("ID format drifted: %q", a.ID())
+	}
+}

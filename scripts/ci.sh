@@ -14,7 +14,7 @@ git diff --exit-code
 go vet ./...
 go build ./...
 go test -timeout 300s ./...
-go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject ./internal/artifact ./internal/model
+go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject ./internal/artifact ./internal/model ./internal/serve
 go test -run='^$' -fuzz='^FuzzReadGDS$' -fuzztime=10s ./internal/gds
 
 # Spectral-engine gates: alloc-regression tests on the ILT hot path, a
@@ -41,3 +41,10 @@ go run ./cmd/ldmo-bench -exp nnbench -fast -deadline 120s -out "$tmpout"
 # allocations; here the quick stage-at-a-time vs pipelined A/B bench
 # cross-checks identity end to end and records the coalescing factor.
 go run ./cmd/ldmo-bench -exp pipebench -fast -deadline 120s -out "$tmpout"
+
+# Serving gates: the httptest endpoint smoke (submit -> poll -> result, 429
+# shed, dedupe) and both crash drills — including a real SIGKILL'd daemon —
+# run under -race via ./internal/serve above; the quick service bench drives
+# a multi-client overload burst and records latency percentiles, throughput,
+# and shed rate to BENCH_serve.json.
+go run ./cmd/ldmo-bench -exp servebench -fast -deadline 120s -out "$tmpout"
