@@ -1,0 +1,5 @@
+//go:build !race
+
+package fft
+
+const raceEnabled = false

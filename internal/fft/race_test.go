@@ -1,0 +1,9 @@
+//go:build race
+
+package fft
+
+// raceEnabled gates the AllocsPerRun regression tests: under the race
+// detector sync.Pool randomly drops puts, so the pooled column strips and
+// scratch buffers allocate nondeterministically and the zero-alloc
+// contract cannot be asserted.
+const raceEnabled = true

@@ -265,6 +265,9 @@ func TestSpecLenHalvedInRealMode(t *testing.T) {
 // 2-D entry points route their column strip through a pool instead of
 // allocating per call.
 func TestFFT2DZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops puts under the race detector")
+	}
 	data := make([]complex128, 64*32)
 	FFT2D(data, 64, 32) // warm the pool and the tables
 	if allocs := testing.AllocsPerRun(50, func() {
@@ -278,6 +281,9 @@ func TestFFT2DZeroAllocSteadyState(t *testing.T) {
 // TestInverseSpecZeroAlloc pins the fused-backward entry to the same
 // zero-alloc contract as the rest of the hot path.
 func TestInverseSpecZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops puts under the race detector")
+	}
 	rng := rand.New(rand.NewSource(9))
 	p := NewPlan(32, 32, 7, 7)
 	img := randImage(rng, 32*32)
