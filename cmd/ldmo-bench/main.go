@@ -19,6 +19,8 @@
 //	                                  # emits BENCH_pipeline.json
 //	ldmo-bench -exp servebench        # job-service latency/throughput/shed
 //	                                  # drill, emits BENCH_serve.json
+//	ldmo-bench -exp factorybench      # dataset-factory scaling + chaos
+//	                                  # drill, emits BENCH_factory.json
 //	ldmo-bench -exp all               # everything
 //
 // Flags:
@@ -53,7 +55,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, nnbench, pipebench, servebench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, nnbench, pipebench, servebench, factorybench, all")
 	fast := flag.Bool("fast", false, "coarse raster and reduced training budget")
 	modelPath := flag.String("model", "", "path to a trained predictor (optional)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -109,7 +111,7 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench", "nnbench", "pipebench", "servebench":
+	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench", "nnbench", "pipebench", "servebench", "factorybench":
 		run(*exp)
 	default:
 		fatalf("unknown experiment %q", *exp)
@@ -224,6 +226,23 @@ func runExperiment(name string, opt experiments.Options, outDir string, w io.Wri
 		}
 		b.Render(w)
 		path := "BENCH_serve.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(outDir, path)
+		}
+		if err := b.WriteJSON(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	case "factorybench":
+		b, err := experiments.RunFactoryBench(opt)
+		if err != nil {
+			return err
+		}
+		b.Render(w)
+		path := "BENCH_factory.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

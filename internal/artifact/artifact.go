@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -229,12 +230,24 @@ func ReadFile(path, kind string, version uint16) ([]byte, error) {
 	return Unseal(f, path, kind, version)
 }
 
-// Quarantine renames a rejected artifact to path+".quarantined" so the next
-// write can land cleanly and the operator can inspect (or delete) the bad
-// bytes. An existing quarantine file for the same path is overwritten — the
-// newest corpse is the interesting one. Returns the quarantine path.
+// Quarantine renames a rejected artifact aside so the next write can land
+// cleanly and the operator can inspect (or delete) the bad bytes. The name is
+// path+".quarantined", or path+".quarantined.N" for the smallest N that does
+// not collide — quarantining the same path twice keeps both corpses instead
+// of silently overwriting the earlier evidence. Returns the name actually
+// used. (The probe-then-rename pair is not atomic across processes; two
+// simultaneous quarantines of one path may race, which at worst merges two
+// corpses — never loses the live file.)
 func Quarantine(path string) (string, error) {
 	q := path + QuarantineSuffix
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(q); errors.Is(err, fs.ErrNotExist) {
+			break
+		} else if err != nil {
+			return "", fmt.Errorf("artifact %s: quarantine probe %s: %w", path, q, err)
+		}
+		q = fmt.Sprintf("%s%s.%d", path, QuarantineSuffix, n)
+	}
 	if err := os.Rename(path, q); err != nil {
 		return "", fmt.Errorf("artifact %s: quarantine: %w", path, err)
 	}

@@ -139,6 +139,48 @@ func TestQuarantine(t *testing.T) {
 	}
 }
 
+// TestQuarantineTwice: quarantining the same path again must not clobber the
+// first corpse — each call picks the next free suffix and reports it.
+func TestQuarantineTwice(t *testing.T) {
+	path := sealFile(t, "q.bin", []byte("first corpse"))
+	q1, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != path+QuarantineSuffix {
+		t.Fatalf("first quarantine path %q", q1)
+	}
+
+	if err := WriteFile(path, testKind, testVersion, []byte("second corpse")); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := path + QuarantineSuffix + ".1"; q2 != want {
+		t.Fatalf("second quarantine path %q, want %q", q2, want)
+	}
+
+	got1, err := ReadFile(q1, testKind, testVersion)
+	if err != nil {
+		t.Fatalf("first corpse unreadable: %v", err)
+	}
+	if string(got1) != "first corpse" {
+		t.Fatalf("first corpse payload %q", got1)
+	}
+	got2, err := ReadFile(q2, testKind, testVersion)
+	if err != nil {
+		t.Fatalf("second corpse unreadable: %v", err)
+	}
+	if string(got2) != "second corpse" {
+		t.Fatalf("second corpse payload %q", got2)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("original path still present after second quarantine")
+	}
+}
+
 // TestFaultBitflip: the armed point corrupts exactly one matching read, on
 // disk, then disarms.
 func TestFaultBitflip(t *testing.T) {

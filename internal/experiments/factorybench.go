@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ldmo/internal/factory"
+	"ldmo/internal/faultinject"
+	"ldmo/internal/layout"
+	"ldmo/internal/par"
+)
+
+// FactoryRun is one supervised build at a fixed worker count.
+type FactoryRun struct {
+	Workers       int     `json:"workers"`
+	WallSec       float64 `json:"wall_sec"`
+	LayoutsPerSec float64 `json:"layouts_per_sec"`
+}
+
+// FactoryBench is the machine-readable record of the dataset-factory
+// benchmark that cmd/ldmo-bench writes to BENCH_factory.json: labeling
+// throughput vs worker count, the cost of chaos (reclaims and restarts under
+// injected worker kills), resume cost, and the byte-identity check against
+// the serial reference.
+type FactoryBench struct {
+	// Layouts is the corpus size; GOMAXPROCS/NumCPU describe the host and
+	// Constrained flags GOMAXPROCS=1, where in-process workers interleave
+	// on one core and scaling cannot show.
+	Layouts     int  `json:"layouts"`
+	GOMAXPROCS  int  `json:"gomaxprocs"`
+	NumCPU      int  `json:"numcpu"`
+	Constrained bool `json:"constrained"`
+	// SerialSec is the undisturbed single-process BuildDatasetCtx
+	// reference (including manifest publication).
+	SerialSec float64 `json:"serial_sec"`
+	// Runs are undisturbed supervised builds at increasing worker counts.
+	Runs []FactoryRun `json:"runs"`
+	// Chaos run: workers repeatedly killed right after claiming.
+	ChaosWallSec  float64 `json:"chaos_wall_sec"`
+	ChaosReclaims int     `json:"chaos_reclaims"`
+	ChaosRestarts int     `json:"chaos_restarts"`
+	Poisoned      int     `json:"poisoned"`
+	// ResumeSec is the cost of resuming an already-complete corpus: pure
+	// verification + manifest rebuild, the fixed overhead every restart
+	// pays.
+	ResumeSec float64 `json:"resume_sec"`
+	// Identical reports the chaos manifest was byte-identical to the
+	// serial reference — the factory's correctness contract.
+	Identical bool `json:"identical"`
+}
+
+// RunFactoryBench measures the dataset factory end to end with in-process
+// workers: serial reference, scaling runs, a chaos run under injected
+// worker kills, and a resume pass — all over the same generated corpus.
+func RunFactoryBench(o Options) (FactoryBench, error) {
+	ctx := o.context()
+	workers := o.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	n := 8
+	if o.Fast {
+		n = 4
+	}
+	out := FactoryBench{
+		Layouts:    n,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	out.Constrained = out.GOMAXPROCS == 1
+	if out.Constrained {
+		o.logf("factorybench: WARNING: GOMAXPROCS=1 (numcpu=%d) — in-process workers interleave on one core; throughput scaling cannot show. Marking the record constrained\n", out.NumCPU)
+	}
+
+	pool, err := layout.GenerateSet(o.Seed+31, n, layout.DefaultGenParams())
+	if err != nil {
+		return out, err
+	}
+	scfg := o.samplingConfig()
+	if o.Fast {
+		scfg.ILT.MaxIters = 4
+	}
+	spec := factory.Spec{Layouts: pool, Sampling: scfg, HeartbeatMS: 25, StaleAfterMS: 300}
+
+	root, err := os.MkdirTemp("", "ldmo-factorybench-")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(root)
+
+	// Undisturbed serial reference.
+	serialDir := filepath.Join(root, "serial")
+	start := time.Now()
+	if _, err := factory.Serial(ctx, serialDir, spec, nil); err != nil {
+		return out, err
+	}
+	out.SerialSec = time.Since(start).Seconds()
+	o.logf("factorybench: serial reference %.2fs (%d layouts)\n", out.SerialSec, n)
+
+	counts := []int{1, workers}
+	if workers == 1 {
+		counts = []int{1}
+	}
+	for _, w := range counts {
+		dir := filepath.Join(root, fmt.Sprintf("w%d", w))
+		start = time.Now()
+		rep, err := factory.Build(ctx, factory.Config{Dir: dir, Spec: spec, Workers: w})
+		if err != nil {
+			return out, err
+		}
+		if rep.Sealed != n {
+			return out, fmt.Errorf("factorybench: w=%d build incomplete: %+v", w, rep)
+		}
+		wall := time.Since(start).Seconds()
+		out.Runs = append(out.Runs, FactoryRun{Workers: w, WallSec: wall, LayoutsPerSec: float64(n) / wall})
+		o.logf("factorybench: %d worker(s) %.2fs\n", w, wall)
+	}
+
+	// Chaos run: arm a one-shot kill up front and re-arm it a few times
+	// while the build runs; every armed shot kills at most one claim, so
+	// the drill always converges.
+	chaosDir := filepath.Join(root, "chaos")
+	faultinject.Set(faultinject.WorkerSigkill, "0")
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(150 * time.Millisecond):
+				faultinject.Set(faultinject.WorkerSigkill, "0")
+			}
+		}
+	}()
+	start = time.Now()
+	rep, err := factory.Build(ctx, factory.Config{
+		Dir: chaosDir, Spec: spec, Workers: max(2, workers),
+		RestartBase: 10 * time.Millisecond, RestartMax: 100 * time.Millisecond,
+	})
+	close(stop)
+	faultinject.Reset()
+	if err != nil {
+		return out, err
+	}
+	out.ChaosWallSec = time.Since(start).Seconds()
+	out.ChaosReclaims = rep.Reclaims
+	out.ChaosRestarts = rep.Restarts
+	out.Poisoned = len(rep.Poisoned)
+	o.logf("factorybench: chaos run %.2fs (%d reclaims, %d restarts)\n", out.ChaosWallSec, rep.Reclaims, rep.Restarts)
+
+	// Resume over the complete chaos corpus: verification + manifest only.
+	start = time.Now()
+	if _, err := factory.Build(ctx, factory.Config{Dir: chaosDir, Spec: spec, Workers: 1, Resume: true}); err != nil {
+		return out, err
+	}
+	out.ResumeSec = time.Since(start).Seconds()
+
+	chaosManifest, err := os.ReadFile(filepath.Join(chaosDir, factory.ManifestFile))
+	if err != nil {
+		return out, err
+	}
+	serialManifest, err := os.ReadFile(filepath.Join(serialDir, factory.ManifestFile))
+	if err != nil {
+		return out, err
+	}
+	out.Identical = string(chaosManifest) == string(serialManifest)
+	if !out.Identical {
+		return out, fmt.Errorf("factorybench: chaos manifest differs from the serial reference")
+	}
+	return out, nil
+}
+
+// WriteJSON writes the bench record to path.
+func (b FactoryBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the human-readable summary.
+func (b FactoryBench) Render(w io.Writer) {
+	fmt.Fprintln(w, "Dataset factory benchmark")
+	fmt.Fprintf(w, "layouts %d  (GOMAXPROCS %d, numcpu %d)\n", b.Layouts, b.GOMAXPROCS, b.NumCPU)
+	fmt.Fprintf(w, "serial reference %.2fs\n", b.SerialSec)
+	for _, r := range b.Runs {
+		fmt.Fprintf(w, "workers %2d: %.2fs  (%.2f layouts/s)\n", r.Workers, r.WallSec, r.LayoutsPerSec)
+	}
+	fmt.Fprintf(w, "chaos: %.2fs with %d reclaims, %d restarts, %d poisoned  resume %.3fs  identical=%v\n",
+		b.ChaosWallSec, b.ChaosReclaims, b.ChaosRestarts, b.Poisoned, b.ResumeSec, b.Identical)
+	if b.Constrained {
+		fmt.Fprintln(w, "*** CONSTRAINED RUN: GOMAXPROCS=1 — worker scaling cannot show on one core ***")
+	}
+}

@@ -1,0 +1,148 @@
+package factory
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"ldmo/internal/faultinject"
+	"ldmo/internal/runx"
+)
+
+// TestMain doubles as the factory worker: when LDMO_FACTORY_WORKER is set,
+// the test binary re-execs into a real worker-mode process the supervisor
+// can SIGKILL — the only honest way to drill crash-only coordination.
+func TestMain(m *testing.M) {
+	if os.Getenv("LDMO_FACTORY_WORKER") == "1" {
+		workerMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// workerMain mirrors cmd/ldmo-factory's worker mode: serve the directory
+// from the environment, exit 0 on a complete corpus, 3 on a recorded labeler
+// crash, 130 on interruption.
+func workerMain() {
+	dir := os.Getenv(EnvWorkerDir)
+	token := os.Getenv(EnvWorkerToken)
+	err := RunWorker(context.Background(), dir, token, os.Stderr)
+	switch {
+	case err == nil:
+		os.Exit(0)
+	case runx.Interrupted(err):
+		os.Exit(130)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		if _, ok := AsCrash(err); ok {
+			os.Exit(3)
+		}
+		os.Exit(1)
+	}
+}
+
+// TestFactoryRealProcessChaosDrill is the tentpole acceptance drill with
+// real processes: every first-generation worker is re-exec'd with an armed
+// worker-sigkill fault and SIGKILLs itself right after claiming its first
+// lease; the supervisor must reclaim each abandoned lease, restart the slots
+// with the chaos point stripped, and converge to a manifest byte-identical
+// to the undisturbed serial build.
+func TestFactoryRealProcessChaosDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec drill skipped in -short")
+	}
+	spec := testSpec(t, 3)
+	serialDir := t.TempDir()
+	if _, err := Serial(context.Background(), serialDir, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	log := &syncLog{}
+	cfg := Config{
+		Dir:     dir,
+		Spec:    spec,
+		Workers: 2,
+		Log:     log,
+		WorkerCommand: func(dir string) *exec.Cmd {
+			cmd := exec.Command(os.Args[0], "-test.run=^$")
+			cmd.Env = append(os.Environ(),
+				"LDMO_FACTORY_WORKER=1",
+				faultinject.EnvFaults+"="+faultinject.WorkerSigkill+"=0",
+			)
+			cmd.Stderr = log
+			return cmd
+		},
+	}
+	fastRestart(&cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := Build(ctx, cfg)
+	if err != nil {
+		t.Fatalf("real-process chaos build failed: %v\nlog:\n%s", err, log.String())
+	}
+	if rep.Sealed != 3 || len(rep.Poisoned) != 0 {
+		t.Fatalf("chaos build incomplete: %+v\nlog:\n%s", rep, log.String())
+	}
+	// Both gen-0 workers die once each: at least two reclaims and two
+	// restarts, all logged.
+	if rep.Reclaims < 2 || rep.Restarts < 2 {
+		t.Fatalf("expected every gen-0 worker killed: %+v\nlog:\n%s", rep, log.String())
+	}
+	if strings.Count(log.String(), "reclaimed shard") < rep.Reclaims {
+		t.Fatalf("reclaims not all logged (%d): \n%s", rep.Reclaims, log.String())
+	}
+	requireManifestIdentical(t, dir, serialDir, 3)
+}
+
+// TestFactoryRealProcessPoisonDrill runs the poison quarantine against real
+// processes: a sticky label panic on shard 1 must survive the environment
+// strip on restart (sticky points are kept), kill PoisonK real workers with
+// exit code 3, and end in a sealed poison record, not a crash loop.
+func TestFactoryRealProcessPoisonDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec drill skipped in -short")
+	}
+	spec := testSpec(t, 3)
+	spec.PoisonK = 2
+	dir := t.TempDir()
+	log := &syncLog{}
+	cfg := Config{
+		Dir:     dir,
+		Spec:    spec,
+		Workers: 1,
+		Log:     log,
+		WorkerCommand: func(dir string) *exec.Cmd {
+			cmd := exec.Command(os.Args[0], "-test.run=^$")
+			cmd.Env = append(os.Environ(),
+				"LDMO_FACTORY_WORKER=1",
+				faultinject.EnvFaults+"="+faultinject.LabelPanicSticky+"=1",
+			)
+			cmd.Stderr = log
+			return cmd
+		},
+	}
+	fastRestart(&cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := Build(ctx, cfg)
+	if err != nil {
+		t.Fatalf("poison drill failed: %v\nlog:\n%s", err, log.String())
+	}
+	if rep.Sealed != 2 || len(rep.Poisoned) != 1 || rep.Poisoned[0] != 1 {
+		t.Fatalf("poison drill report: %+v\nlog:\n%s", rep, log.String())
+	}
+	p, err := ReadPoison(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Attempts != 2 || !strings.Contains(p.Reason, "sticky label panic") || p.Stack == "" {
+		t.Fatalf("poison record missing evidence: %+v", p)
+	}
+}

@@ -1,0 +1,271 @@
+package factory
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"ldmo/internal/artifact"
+	"ldmo/internal/cluster"
+	"ldmo/internal/sampling"
+	"ldmo/internal/sift"
+)
+
+// ManifestConfig parameterizes corpus dedupe and clustering. The zero value
+// is sensible: exact-signature dedupe only, clusters sized to the kept set,
+// pairwise work capped at 2048 comparisons' worth of layouts.
+type ManifestConfig struct {
+	// DedupeThreshold drops a layout whose symmetrized SIFT distance to an
+	// earlier kept layout is <= the threshold. 0 dedupes only exact
+	// signature matches; negative disables dedupe entirely.
+	DedupeThreshold float64
+	// Clusters is the k-medoids cluster count over the kept set; <=0
+	// selects max(1, kept/8).
+	Clusters int
+	// PairwiseCap bounds the O(n^2) SIFT similarity work: when the
+	// non-poison layout count squared exceeds it, similarity dedupe and
+	// clustering are skipped (exact-signature dedupe still runs) and the
+	// skip is logged. <=0 selects 2048.
+	PairwiseCap int
+}
+
+func (m ManifestConfig) normalized() ManifestConfig {
+	if m.PairwiseCap <= 0 {
+		m.PairwiseCap = 2048
+	}
+	return m
+}
+
+// Entry is one layout's line in the manifest.
+type Entry struct {
+	// Index and Layout identify the shard.
+	Index  int    `json:"index"`
+	Layout string `json:"layout"`
+	// Digest is the sha256 of the sealed shard file's bytes — the
+	// content address a consumer verifies before training on the shard.
+	// Empty for poison entries, which have no shard.
+	Digest string `json:"digest,omitempty"`
+	// Sig is the sha256 of the layout's SIFT descriptors — the dedupe
+	// signature, a function of the layout geometry alone.
+	Sig string `json:"sig,omitempty"`
+	// Poison marks a quarantined layout (see its shard_NNNNN.poison
+	// record for the evidence).
+	Poison bool `json:"poison,omitempty"`
+	// Dropped marks a near-duplicate removed by dedupe; DupOf is the kept
+	// entry it duplicated (-1 otherwise).
+	Dropped bool `json:"dropped,omitempty"`
+	DupOf   int  `json:"dup_of"`
+	// Cluster is the k-medoids cluster of a kept entry (-1 when not
+	// clustered).
+	Cluster int `json:"cluster"`
+}
+
+// Manifest is the sealed description of a published corpus. It contains no
+// timestamps, PIDs, stacks, or any other run-dependent data — every field is
+// a pure function of (layouts, config, shard bytes) — which is what makes a
+// chaos-ridden multi-process build's manifest byte-identical to a serial
+// one's.
+type Manifest struct {
+	Layouts  int     `json:"layouts"`
+	Sealed   int     `json:"sealed"`
+	Poisoned int     `json:"poisoned"`
+	Kept     int     `json:"kept"`
+	Dropped  int     `json:"dropped"`
+	Clusters int     `json:"clusters"`
+	Entries  []Entry `json:"entries"`
+}
+
+// BuildManifest verifies every sealed shard, digests it, computes SIFT
+// dedupe signatures, drops near-duplicate layouts deterministically (earliest
+// index wins), and clusters the kept set with k-medoids. It requires the
+// corpus to be complete: every index sealed or poisoned.
+func BuildManifest(dir string, spec Spec, log io.Writer) (*Manifest, error) {
+	spec = spec.normalized()
+	mc := spec.Manifest
+	n := len(spec.Layouts)
+	entries := make([]Entry, n)
+	feats := make([][]sift.Feature, n)
+	poisoned := 0
+	for i, l := range spec.Layouts {
+		e := Entry{Index: i, Layout: l.Name, DupOf: -1, Cluster: -1}
+		if _, err := os.Lstat(poisonPath(dir, i)); err == nil {
+			e.Poison = true
+			poisoned++
+			entries[i] = e
+			continue
+		}
+		if err := sampling.VerifyShard(dir, i, l.Name); err != nil {
+			return nil, fmt.Errorf("factory: manifest: %w", err)
+		}
+		b, err := os.ReadFile(sampling.ShardFile(dir, i))
+		if err != nil {
+			return nil, fmt.Errorf("factory: manifest: %w", err)
+		}
+		sum := sha256.Sum256(b)
+		e.Digest = hex.EncodeToString(sum[:])
+		feats[i] = sift.Detect(l.Rasterize(spec.Sampling.Res), spec.Sampling.SIFT)
+		e.Sig = sigOf(feats[i])
+		entries[i] = e
+	}
+
+	nonPoison := n - poisoned
+	pairwise := mc.DedupeThreshold >= 0 && nonPoison*nonPoison <= mc.PairwiseCap
+	if !pairwise && mc.DedupeThreshold >= 0 && log != nil {
+		fmt.Fprintf(log, "factory: manifest: %d layouts exceed pairwise cap %d — similarity dedupe and clustering skipped, exact-signature dedupe only\n",
+			nonPoison, mc.PairwiseCap)
+	}
+
+	dist := func(a, b int) float64 {
+		return (sift.LayoutSimilarity(feats[a], feats[b], spec.Sampling.Dth, spec.Sampling.MatchCount) +
+			sift.LayoutSimilarity(feats[b], feats[a], spec.Sampling.Dth, spec.Sampling.MatchCount)) / 2
+	}
+
+	// Dedupe in index order: the earliest of a duplicate group is kept, so
+	// the outcome does not depend on build interleaving.
+	var kept []int
+	for i := range entries {
+		e := &entries[i]
+		if e.Poison {
+			continue
+		}
+		if mc.DedupeThreshold < 0 {
+			kept = append(kept, i)
+			continue
+		}
+		dup := -1
+		for _, k := range kept {
+			if entries[k].Sig == e.Sig {
+				dup = k
+				break
+			}
+			if pairwise && mc.DedupeThreshold > 0 && dist(k, i) <= mc.DedupeThreshold {
+				dup = k
+				break
+			}
+		}
+		if dup >= 0 {
+			e.Dropped = true
+			e.DupOf = dup
+			continue
+		}
+		kept = append(kept, i)
+	}
+
+	clusters := 0
+	if pairwise && len(kept) > 1 {
+		k := mc.Clusters
+		if k <= 0 {
+			k = max(1, len(kept)/8)
+		}
+		if k > len(kept) {
+			k = len(kept)
+		}
+		dm := make([][]float64, len(kept))
+		for a := range kept {
+			dm[a] = make([]float64, len(kept))
+		}
+		for a := 0; a < len(kept); a++ {
+			for b := a + 1; b < len(kept); b++ {
+				d := dist(kept[a], kept[b])
+				dm[a][b] = d
+				dm[b][a] = d
+			}
+		}
+		res, err := cluster.KMedoids(dm, k, spec.Sampling.Seed, 100)
+		if err != nil {
+			return nil, fmt.Errorf("factory: manifest clustering: %w", err)
+		}
+		for j, i := range kept {
+			entries[i].Cluster = res.Assign[j]
+		}
+		clusters = k
+	}
+
+	return &Manifest{
+		Layouts:  n,
+		Sealed:   nonPoison,
+		Poisoned: poisoned,
+		Kept:     len(kept),
+		Dropped:  nonPoison - len(kept),
+		Clusters: clusters,
+		Entries:  entries,
+	}, nil
+}
+
+// sigOf hashes a feature set's geometry and descriptors through their exact
+// float64 bit patterns — stable across processes, architectures be damned.
+func sigOf(feats []sift.Feature) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, f := range feats {
+		put(f.X)
+		put(f.Y)
+		put(f.Scale)
+		put(f.Orientation)
+		for _, d := range f.Desc {
+			put(d)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeManifest seals the manifest into dir.
+func writeManifest(dir string, m *Manifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("factory: encode manifest: %w", err)
+	}
+	if err := artifact.WriteFile(filepath.Join(dir, ManifestFile), manifestKind, manifestVersion, payload); err != nil {
+		return fmt.Errorf("factory: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a sealed corpus manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	payload, err := artifact.ReadFile(filepath.Join(dir, ManifestFile), manifestKind, manifestVersion)
+	if err != nil {
+		return nil, fmt.Errorf("factory: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("factory: manifest undecodable (%v): %w", err, artifact.ErrCorrupt)
+	}
+	return &m, nil
+}
+
+// Serial builds the same corpus in-process on sampling.BuildDatasetCtx and
+// publishes the same manifest — the undisturbed reference the chaos drill
+// compares a supervised build against, and the single-process fallback for
+// small corpora.
+func Serial(ctx context.Context, dir string, spec Spec, log io.Writer) (*Manifest, error) {
+	spec = spec.normalized()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("factory: %w", err)
+	}
+	cfg := spec.Sampling
+	cfg.Checkpoint = dir
+	cfg.Workers = 1
+	if _, _, err := sampling.BuildDatasetCtx(ctx, spec.Layouts, cfg, log); err != nil {
+		return nil, err
+	}
+	m, err := BuildManifest(dir, spec, log)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,514 @@
+package factory
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldmo/internal/faultinject"
+	"ldmo/internal/par"
+	"ldmo/internal/runx"
+)
+
+// Config parameterizes one supervised factory build.
+type Config struct {
+	// Dir is the factory directory: spec, leases, shards, poison records,
+	// and the final manifest all live here.
+	Dir string
+	// Spec is the build to run. On resume it must match the sealed spec in
+	// Dir byte for byte.
+	Spec Spec
+	// Workers is the number of worker slots; <=0 selects par.Workers().
+	Workers int
+	// Resume allows continuing an initialized factory directory; without
+	// it, a directory that already holds a spec is refused.
+	Resume bool
+	// WorkerCommand builds the command for one worker process (the same
+	// binary re-exec'd in worker mode); the supervisor adds the factory
+	// environment before starting it. nil runs workers as in-process
+	// goroutines instead — same loop, same lease protocol, used by fast
+	// drills and single-process builds.
+	WorkerCommand func(dir string) *exec.Cmd
+	// RestartBase/RestartMax bound the runx.Retry backoff between worker
+	// restarts; <=0 selects 100ms / 2s.
+	RestartBase time.Duration
+	RestartMax  time.Duration
+	// Log receives supervision events (reclaims, restarts, poisonings).
+	Log io.Writer
+}
+
+// Report summarizes a completed (or interrupted) build.
+type Report struct {
+	// Layouts is the corpus size; Sealed counts sealed shards and Poisoned
+	// lists quarantined shard indices (Sealed + len(Poisoned) == Layouts on
+	// a completed build).
+	Layouts  int
+	Sealed   int
+	Poisoned []int
+	// Reclaims counts leases taken back from dead or hung workers;
+	// Restarts counts worker respawns; HungKills counts live workers
+	// killed for a stale heartbeat.
+	Reclaims  int
+	Restarts  int
+	HungKills int
+	// Kept/Dropped/Clusters mirror the manifest's dedupe summary.
+	Kept     int
+	Dropped  int
+	Clusters int
+	// ManifestPath is the sealed manifest location.
+	ManifestPath string
+}
+
+// handle is the supervisor's view of one spawned worker, process or
+// goroutine: an identity, a way to kill it, and a death notification.
+type handle struct {
+	token string
+	kill  func()
+	done  chan error
+	dead  atomic.Bool
+}
+
+func (h *handle) isDead() bool { return h.dead.Load() }
+
+type supervisor struct {
+	cfg    Config
+	spec   Spec
+	dir    string
+	runCtx context.Context // workers' context: dies on Build cancellation
+
+	mu       sync.Mutex
+	registry map[string]*handle
+
+	reclaims  atomic.Int64
+	restarts  atomic.Int64
+	hungKills atomic.Int64
+}
+
+func (s *supervisor) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+func (s *supervisor) lookup(token string) *handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registry[token]
+}
+
+func (s *supervisor) register(h *handle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registry[h.token] = h
+}
+
+func (s *supervisor) killAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.registry {
+		if !h.isDead() {
+			h.kill()
+		}
+	}
+}
+
+// Build runs the factory to completion: initialize or resume the directory,
+// supervise Workers slots until every shard is sealed or poisoned, then
+// publish the sealed manifest. It only fails on configuration errors,
+// unreadable state, or cancellation — worker deaths, hangs, and poison
+// layouts are handled, not fatal.
+func Build(ctx context.Context, cfg Config) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec := cfg.Spec.normalized()
+	if len(spec.Layouts) == 0 {
+		return Report{}, errors.New("factory: empty layout set")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = par.Workers()
+	}
+	if cfg.RestartBase <= 0 {
+		cfg.RestartBase = 100 * time.Millisecond
+	}
+	if cfg.RestartMax <= 0 {
+		cfg.RestartMax = 2 * time.Second
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return Report{}, fmt.Errorf("factory: %w", err)
+	}
+	if err := initSpec(cfg.Dir, spec, cfg.Resume); err != nil {
+		return Report{}, err
+	}
+
+	s := &supervisor{cfg: cfg, spec: spec, dir: cfg.Dir, registry: map[string]*handle{}}
+	if err := s.sweepStartup(); err != nil {
+		return Report{}, err
+	}
+
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+	s.runCtx = runCtx
+	// spawnCtx governs only the restart backoff sleeps, so slots parked in
+	// backoff wake immediately on completion instead of sleeping it out.
+	spawnCtx, spawnCancel := context.WithCancel(ctx)
+	defer spawnCancel()
+
+	done := make(chan struct{}) // closed when every shard is sealed|poisoned
+	var wg sync.WaitGroup
+	for slot := 0; slot < cfg.Workers; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			s.runSlot(spawnCtx, slot, done)
+		}(slot)
+	}
+
+	n := len(spec.Layouts)
+	tick := time.NewTicker(spec.heartbeat() / 2)
+	defer tick.Stop()
+	var finErr error
+	for finErr == nil {
+		select {
+		case <-ctx.Done():
+			finErr = ctx.Err()
+		case <-tick.C:
+			states, err := scanShards(s.dir, n)
+			if err != nil {
+				finErr = err
+				break
+			}
+			s.reap(states, time.Now())
+			if allDone(states) {
+				close(done)
+				spawnCancel()
+				wg.Wait()
+				return s.finish(states)
+			}
+		}
+	}
+	// Interrupted or broken: stop everything, leave the directory as-is
+	// (crash-only — a resume picks up from the leases and shards on disk).
+	spawnCancel()
+	runCancel()
+	s.killAll()
+	wg.Wait()
+	states, _ := scanShards(s.dir, n) // best-effort progress snapshot
+	return s.report(states, nil), finErr
+}
+
+// initSpec writes the sealed spec on first use and byte-verifies it on
+// resume, refusing to reuse an initialized directory without Resume or with
+// a different configuration.
+func initSpec(dir string, spec Spec, resume bool) error {
+	path := filepath.Join(dir, SpecFile)
+	_, err := os.Lstat(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return writeSpec(dir, spec)
+	case err != nil:
+		return fmt.Errorf("factory: %w", err)
+	}
+	if !resume {
+		return fmt.Errorf("factory: %s is already an initialized factory dir; pass Resume to continue it", dir)
+	}
+	stored, err := readSpecBytes(dir)
+	if err != nil {
+		return err
+	}
+	want, err := encodeSpec(spec)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(stored, want) {
+		return fmt.Errorf("factory: resume spec differs from the sealed config in %s", dir)
+	}
+	return nil
+}
+
+// sweepStartup removes leftover leases and crash records from a previous
+// supervisor incarnation. No worker of ours is alive yet, so every lease is
+// an orphan; stale crash records are discarded *without* counting attempts —
+// undercounting a death across supervisor restarts is safe (the shard just
+// gets PoisonK fresh chances), overcounting could poison a healthy layout.
+func (s *supervisor) sweepStartup() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("factory: %w", err)
+	}
+	for _, e := range entries {
+		i, suffix, ok := parseShardName(e.Name())
+		if !ok {
+			continue
+		}
+		if suffix == ".lease" || suffix == ".crash" {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("factory: startup sweep: %w", err)
+			}
+			s.logf("factory: startup sweep removed stale %s (shard %d)", e.Name(), i)
+		}
+	}
+	return nil
+}
+
+// runSlot keeps one worker slot occupied: spawn a worker, wait for it, and
+// respawn under backoff when it dies, until the corpus completes or the
+// build is cancelled. runx.Retry provides the jittered restart backoff and
+// stops retrying the moment the context dies.
+func (s *supervisor) runSlot(ctx context.Context, slot int, done chan struct{}) {
+	_ = runx.Retry(ctx, runx.RetryConfig{
+		Attempts: math.MaxInt32,
+		Base:     s.cfg.RestartBase,
+		Max:      s.cfg.RestartMax,
+		Seed:     int64(slot) + 1,
+	}, func(attempt int) error {
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 1 {
+			s.restarts.Add(1)
+			s.logf("factory: restarting worker slot %d (attempt %d)", slot, attempt)
+		}
+		h, err := s.spawn(slot, attempt-1)
+		if err != nil {
+			return err
+		}
+		werr := <-h.done
+		h.dead.Store(true)
+		if werr == nil {
+			return nil // the worker saw the corpus complete
+		}
+		select {
+		case <-done:
+			return nil
+		default:
+		}
+		if runx.Interrupted(werr) {
+			return werr
+		}
+		return fmt.Errorf("factory: worker %s died: %w", h.token, werr)
+	})
+}
+
+// spawn starts one worker — a re-exec'd process or a goroutine — and
+// registers its handle. Restarted workers (gen > 0) get the one-shot chaos
+// fault points stripped from their environment, so an armed worker-sigkill
+// kills the first generation once instead of crash-looping the slot forever;
+// label-panic-sticky stays, because a poison layout must keep killing its
+// workers until the quarantine rule fires.
+func (s *supervisor) spawn(slot, gen int) (*handle, error) {
+	token := fmt.Sprintf("w%d-%d", slot, gen)
+	h := &handle{token: token, done: make(chan error, 1)}
+	if s.cfg.WorkerCommand != nil {
+		cmd := s.cfg.WorkerCommand(s.dir)
+		env := cmd.Env
+		if env == nil {
+			env = os.Environ()
+		}
+		env = setEnv(env, EnvWorkerDir, s.dir)
+		env = setEnv(env, EnvWorkerToken, token)
+		if gen > 0 {
+			env = stripChaosFaults(env)
+		}
+		cmd.Env = env
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("factory: spawn worker %s: %w", token, err)
+		}
+		proc := cmd.Process
+		h.kill = func() { _ = proc.Kill() }
+		go func() { h.done <- cmd.Wait() }()
+	} else {
+		w := &worker{dir: s.dir, spec: s.spec, token: token, log: s.cfg.Log, killCh: make(chan struct{})}
+		var once sync.Once
+		h.kill = func() {
+			once.Do(func() {
+				w.dead.Store(true)
+				close(w.killCh)
+			})
+		}
+		go func() { h.done <- w.run(s.runCtx) }()
+	}
+	s.register(h)
+	return h, nil
+}
+
+// reap reclaims every lease whose holder is dead or whose heartbeat went
+// stale. A stale lease with a *live* holder means the worker is hung —
+// heartbeating stopped but the process never exited — so the supervisor
+// kills it first: otherwise N hung workers would stall the build forever
+// with nothing left to restart.
+func (s *supervisor) reap(states []shardState, now time.Time) {
+	stale := s.spec.staleAfter()
+	for i, st := range states {
+		if !st.leased {
+			continue
+		}
+		if st.finished() {
+			// A claim raced a finished shard (reclaimed build completed
+			// anyway); the lease is meaningless, drop it without ceremony.
+			_ = os.Remove(leasePath(s.dir, i))
+			continue
+		}
+		l, err := readLease(leasePath(s.dir, i))
+		if err != nil {
+			// Torn or vanished lease: only staleness can judge it.
+			if !st.leaseMod.IsZero() && now.Sub(st.leaseMod) > stale {
+				s.reclaim(i, lease{}, "unreadable lease")
+			}
+			continue
+		}
+		h := s.lookup(l.Token)
+		isStale := now.Sub(st.leaseMod) > stale
+		switch {
+		case h == nil:
+			// A token we never spawned (previous run's leftovers slipping
+			// past the sweep, or a manual worker): staleness decides.
+			if isStale {
+				s.reclaim(i, l, "orphan lease")
+			}
+		case h.isDead():
+			s.reclaim(i, l, "worker dead")
+		case isStale:
+			s.hungKills.Add(1)
+			s.logf("factory: killing hung worker %s (shard %d heartbeat stale)", l.Token, i)
+			h.kill()
+			s.reclaim(i, l, "heartbeat stale")
+		}
+	}
+}
+
+// reclaim takes shard i's lease back: fold the worker's crash record (if it
+// wrote one) into the persistent attempt count — poisoning the shard at
+// PoisonK deaths — then remove the lease so another worker can claim it.
+func (s *supervisor) reclaim(i int, l lease, why string) {
+	// TOCTOU guard: if the lease changed hands since we judged it, the new
+	// holder is alive and fresh — leave it alone.
+	if cur, err := readLease(leasePath(s.dir, i)); err == nil && l.Token != "" && cur.Token != l.Token {
+		return
+	}
+	if rec, ok, err := readCrash(s.dir, i); err == nil && ok {
+		s.recordAttempt(i, rec)
+		_ = os.Remove(crashPath(s.dir, i))
+	}
+	_ = os.Remove(leasePath(s.dir, i))
+	s.reclaims.Add(1)
+	s.logf("factory: reclaimed shard %05d lease (%s, worker %q)", i, why, l.Token)
+}
+
+// recordAttempt persists one labeler death against shard i and quarantines
+// the layout as poison at the PoisonK-th. The count lives in a file, not in
+// memory, so the bound holds across supervisor restarts.
+func (s *supervisor) recordAttempt(i int, rec crashRecord) {
+	a, _, err := readAttempts(s.dir, i)
+	if err != nil {
+		s.logf("factory: shard %05d attempts record unreadable (%v); restarting count", i, err)
+		a = attemptsRecord{}
+	}
+	a.Index = i
+	a.Count++
+	a.LastReason, a.LastStack = rec.Reason, rec.Stack
+	if a.Count >= s.spec.PoisonK {
+		p := PoisonRecord{Index: i, Layout: s.spec.Layouts[i].Name, Attempts: a.Count, Reason: rec.Reason, Stack: rec.Stack}
+		if err := writePoison(s.dir, p); err != nil {
+			s.logf("factory: shard %05d poison write failed: %v", i, err)
+			return
+		}
+		_ = os.Remove(attemptsPath(s.dir, i))
+		s.logf("factory: shard %05d poisoned after %d worker deaths: %s", i, a.Count, rec.Reason)
+		return
+	}
+	if err := writeAttempts(s.dir, a); err != nil {
+		s.logf("factory: shard %05d attempts write failed: %v", i, err)
+	}
+	s.logf("factory: shard %05d death %d/%d: %s", i, a.Count, s.spec.PoisonK, rec.Reason)
+}
+
+// finish publishes the manifest over the completed shard set and assembles
+// the report.
+func (s *supervisor) finish(states []shardState) (Report, error) {
+	m, err := BuildManifest(s.dir, s.spec, s.cfg.Log)
+	if err != nil {
+		return s.report(states, nil), err
+	}
+	if err := writeManifest(s.dir, m); err != nil {
+		return s.report(states, nil), err
+	}
+	r := s.report(states, m)
+	s.logf("factory: corpus complete: %d sealed, %d poisoned, %d kept after dedupe (%d reclaims, %d restarts)",
+		r.Sealed, len(r.Poisoned), r.Kept, r.Reclaims, r.Restarts)
+	return r, nil
+}
+
+func (s *supervisor) report(states []shardState, m *Manifest) Report {
+	r := Report{
+		Layouts:   len(s.spec.Layouts),
+		Reclaims:  int(s.reclaims.Load()),
+		Restarts:  int(s.restarts.Load()),
+		HungKills: int(s.hungKills.Load()),
+	}
+	for i, st := range states {
+		if st.sealed {
+			r.Sealed++
+		}
+		if st.poisoned {
+			r.Poisoned = append(r.Poisoned, i)
+		}
+	}
+	if m != nil {
+		r.Kept, r.Dropped, r.Clusters = m.Kept, m.Dropped, m.Clusters
+		r.ManifestPath = filepath.Join(s.dir, ManifestFile)
+	}
+	return r
+}
+
+// setEnv returns env with key set to value, replacing an existing entry.
+func setEnv(env []string, key, value string) []string {
+	prefix := key + "="
+	for i, kv := range env {
+		if strings.HasPrefix(kv, prefix) {
+			env[i] = prefix + value
+			return env
+		}
+	}
+	return append(env, prefix+value)
+}
+
+// stripChaosFaults removes the one-shot worker chaos points from LDMO_FAULTS
+// so restarted workers run clean, while sticky points (label-panic-sticky)
+// survive the restart.
+func stripChaosFaults(env []string) []string {
+	const prefix = faultinject.EnvFaults + "="
+	for i, kv := range env {
+		if !strings.HasPrefix(kv, prefix) {
+			continue
+		}
+		var kept []string
+		for _, entry := range strings.Split(kv[len(prefix):], ",") {
+			point, _, _ := strings.Cut(entry, "=")
+			if point == faultinject.WorkerSigkill || point == faultinject.LeaseStale {
+				continue
+			}
+			if entry != "" {
+				kept = append(kept, entry)
+			}
+		}
+		env[i] = prefix + strings.Join(kept, ",")
+	}
+	return env
+}

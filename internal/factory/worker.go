@@ -1,0 +1,267 @@
+package factory
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ldmo/internal/faultinject"
+	"ldmo/internal/runx"
+	"ldmo/internal/sampling"
+)
+
+// errKilled is an in-process worker's stand-in for SIGKILL: the run loop
+// returns it the instant the supervisor (or a fault point) "kills" the
+// worker, leaving its lease behind exactly as a dead process would.
+var errKilled = errors.New("factory: worker killed")
+
+// crashExit reports that the labeler died on a shard and the worker durably
+// wrote its crash record before exiting — the path a worker-mode process
+// turns into a nonzero exit code.
+type crashExit struct {
+	index int
+	cause error
+}
+
+func (e *crashExit) Error() string {
+	return fmt.Sprintf("factory: labeling shard %d died: %v", e.index, e.cause)
+}
+
+func (e *crashExit) Unwrap() error { return e.cause }
+
+// AsCrash unwraps err to the shard index of a labeler death, when err is one.
+func AsCrash(err error) (int, bool) {
+	var ce *crashExit
+	if errors.As(err, &ce) {
+		return ce.index, true
+	}
+	return 0, false
+}
+
+// worker is one labeling loop: scan, claim, heartbeat, build, seal, repeat
+// until every shard is sealed or poisoned. The same loop runs as a re-exec'd
+// process (RunWorker) and as a supervisor goroutine (in-process mode); the
+// only difference is how it dies.
+type worker struct {
+	dir   string
+	spec  Spec
+	token string
+	log   io.Writer
+	// killCh is non-nil in in-process mode; the supervisor closes it to
+	// simulate SIGKILL. dead latches the same condition.
+	killCh chan struct{}
+	dead   atomic.Bool
+}
+
+// RunWorker serves one worker process: read the sealed spec from dir, then
+// claim-and-label until the corpus is complete (nil), the context dies
+// (Interrupted), or the labeler crashes after durably recording it
+// (crashExit). token identifies this worker in leases; empty selects a
+// PID-derived token for supervisor-less (manual) workers.
+func RunWorker(ctx context.Context, dir, token string, log io.Writer) error {
+	spec, err := ReadSpec(dir)
+	if err != nil {
+		return err
+	}
+	if token == "" {
+		token = fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	w := &worker{dir: dir, spec: spec.normalized(), token: token, log: log}
+	return w.run(ctx)
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.log != nil {
+		fmt.Fprintf(w.log, format+"\n", args...)
+	}
+}
+
+// alive returns the reason to stop, if any: a supervisor kill or a dead
+// context.
+func (w *worker) alive(ctx context.Context) error {
+	if w.dead.Load() {
+		return errKilled
+	}
+	select {
+	case <-w.killCh: // nil channel in process mode: never ready
+		return errKilled
+	default:
+	}
+	return ctx.Err()
+}
+
+// run is the claim loop. Workers do not exit when all remaining work is
+// merely leased elsewhere — a lease may yet be reclaimed and need a builder —
+// only when every shard is sealed or poisoned.
+func (w *worker) run(ctx context.Context) error {
+	hb := w.spec.heartbeat()
+	claims := 0
+	for {
+		if err := w.alive(ctx); err != nil {
+			return err
+		}
+		states, err := scanShards(w.dir, len(w.spec.Layouts))
+		if err != nil {
+			return err
+		}
+		if allDone(states) {
+			return nil
+		}
+		claimed := false
+		for i, st := range states {
+			if !st.claimable() {
+				continue
+			}
+			if err := w.alive(ctx); err != nil {
+				return err
+			}
+			ok, err := claimLease(w.dir, i, w.token)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // lost the race; next shard
+			}
+			claimed = true
+			// Chaos drill: die right after the arg-th successful claim,
+			// lease freshly planted and unheartbeaten — the worst moment.
+			if faultinject.FireAt(faultinject.WorkerSigkill, claims) {
+				return w.die()
+			}
+			claims++
+			if err := w.build(ctx, i, hb); err != nil {
+				return err
+			}
+		}
+		if !claimed {
+			// Everything is sealed, poisoned, or leased by someone else.
+			// Sleep a heartbeat and rescan: a reclaim may free work.
+			if err := w.sleep(ctx, hb); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// die is the worker's simulated SIGKILL. A real process kills itself with
+// the actual signal (no deferred cleanup runs, exactly like machine
+// violence); an in-process worker latches dead and unwinds with errKilled,
+// leaving its lease behind.
+func (w *worker) die() error {
+	if w.killCh == nil {
+		w.logf("worker %s: self-SIGKILL (chaos drill)", w.token)
+		_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable: the signal is not catchable
+	}
+	w.dead.Store(true)
+	return errKilled
+}
+
+// build labels shard i under the already-held lease: heartbeat the lease
+// mtime, run the deterministic labeler inside a panic boundary, seal or
+// durably record the death.
+func (w *worker) build(ctx context.Context, i int, hb time.Duration) error {
+	// Hung-worker drill: the worker holding shard arg stops heartbeating
+	// and hangs without dying, so only the supervisor's staleness rule can
+	// recover the shard.
+	if faultinject.ArgInt(faultinject.LeaseStale, -1) == i {
+		faultinject.Clear(faultinject.LeaseStale)
+		w.logf("worker %s: hanging on shard %d (lease-stale drill)", w.token, i)
+		return w.hang(ctx)
+	}
+
+	stop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				now := time.Now()
+				_ = os.Chtimes(leasePath(w.dir, i), now, now)
+			}
+		}
+	}()
+
+	err := runx.Recover(func() error {
+		if faultinject.ArgInt(faultinject.LabelPanicSticky, -1) == i {
+			panic(fmt.Sprintf("factory: sticky label panic on shard %d", i))
+		}
+		_, q, err := sampling.BuildShard(w.dir, i, w.spec.Layouts[i], w.spec.Sampling)
+		if q != "" {
+			w.logf("worker %s: quarantined rejected shard %d to %s; relabeled", w.token, i, q)
+		}
+		return err
+	})
+	close(stop)
+	hbWG.Wait()
+
+	if err != nil {
+		if runx.Interrupted(err) {
+			// Shutdown mid-build: leave the lease; a resume reclaims it.
+			return err
+		}
+		rec := crashRecord{Index: i, Token: w.token, PID: os.Getpid(), Reason: err.Error()}
+		if pe, ok := runx.AsPanic(err); ok {
+			rec.Stack = string(pe.Stack)
+		}
+		if werr := writeCrash(w.dir, rec); werr != nil {
+			return errors.Join(werr, err)
+		}
+		w.logf("worker %s: shard %d labeler died (%v); crash record written", w.token, i, err)
+		return &crashExit{index: i, cause: err}
+	}
+	return w.releaseLease(i)
+}
+
+// releaseLease removes shard i's lease if this worker still holds it. The
+// lease may already be gone (the supervisor reclaimed a stalled heartbeat
+// while the build finished anyway — the seal was byte-identical and atomic,
+// so that race is benign) or held by a successor, which must not lose it.
+func (w *worker) releaseLease(i int) error {
+	path := leasePath(w.dir, i)
+	l, err := readLease(path)
+	if errors.Is(err, fs.ErrNotExist) || (err == nil && l.Token != w.token) {
+		return nil
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("factory: release lease %d: %w", i, err)
+	}
+	return nil
+}
+
+// hang blocks until killed or cancelled — the lease-stale drill's body.
+func (w *worker) hang(ctx context.Context) error {
+	select {
+	case <-w.killCh:
+		return errKilled
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sleep waits d, interruptible by kill or cancellation.
+func (w *worker) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-w.killCh:
+		return errKilled
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

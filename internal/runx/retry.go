@@ -148,7 +148,9 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func(attempt int) error) err
 			return &RetryError{Attempts: attempt, Last: last}
 		}
 		if err := sleep(ctx, d); err != nil {
-			return &RetryError{Attempts: attempt, Last: last}
+			// The context died mid-backoff: classify the give-up as
+			// interrupted while keeping the attempt's own error reachable.
+			return &RetryError{Attempts: attempt, Last: errors.Join(err, last)}
 		}
 	}
 }

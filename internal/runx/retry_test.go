@@ -220,4 +220,43 @@ func TestRetryCancelledDuringSleep(t *testing.T) {
 	if !ok || calls != 1 || re.Attempts != 1 {
 		t.Fatalf("cancellation during backoff not honored: err=%v calls=%d", err, calls)
 	}
+	if !Interrupted(err) {
+		t.Fatalf("cancellation during backoff not classified Interrupted: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("context error lost from chain: %v", err)
+	}
+}
+
+// TestRetryCancelledMidBackoffPrompt pins the real-sleep path: a cancel that
+// lands mid-backoff must return well before the jittered delay elapses and
+// carry the Interrupted classification, not just the attempt's own error.
+func TestRetryCancelledMidBackoffPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	attemptErr := errors.New("transient")
+	start := time.Now()
+	err := Retry(ctx, RetryConfig{
+		Attempts: 3,
+		Base:     2 * time.Second, // first backoff far exceeds the cancel point
+		Max:      2 * time.Second,
+		Jitter:   0,
+	}, func(int) error { return attemptErr })
+	elapsed := time.Since(start)
+	if elapsed > time.Second {
+		t.Fatalf("cancelled retry slept %v, want prompt return", elapsed)
+	}
+	if !Interrupted(err) {
+		t.Fatalf("cancelled backoff not classified Interrupted: %v", err)
+	}
+	if !errors.Is(err, attemptErr) {
+		t.Fatalf("attempt error lost from chain: %v", err)
+	}
+	re, ok := AsRetry(err)
+	if !ok || re.Attempts != 1 {
+		t.Fatalf("unexpected retry shape: %+v ok=%v", re, ok)
+	}
 }

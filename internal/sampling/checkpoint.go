@@ -11,6 +11,7 @@ import (
 
 	"ldmo/internal/artifact"
 	"ldmo/internal/grid"
+	"ldmo/internal/layout"
 )
 
 // Sealed-envelope identity of a dataset shard. The schema version is bumped
@@ -87,6 +88,61 @@ func readShard(dir string, i int, layoutName string) (shard, bool, error) {
 			path, len(s.Imgs), len(s.Scores), artifact.ErrCorrupt)
 	}
 	return s, true, nil
+}
+
+// ShardFile returns the sealed shard file for layout index i — the name the
+// dataset factory leases, seals, and digests. Only shard_NNNNN.gob files are
+// ever read back by resume: anything else in the directory (leases, poison
+// records, quarantined corpses, editor droppings) is ignored.
+func ShardFile(dir string, i int) string {
+	return shardPath(dir, i)
+}
+
+// BuildShard labels layout l (index li) and seals it as shard li in dir,
+// unless a valid sealed shard is already present — the idempotent unit of
+// work a factory worker performs under its lease. A rejected existing
+// envelope is quarantined aside and the layout relabeled. computed reports
+// whether labeling actually ran (false: the existing shard was reused), and
+// quarantined names the corpse when one was set aside. Labeling is
+// deterministic per layout, so two workers racing on the same index write
+// byte-identical shards and the atomic seal makes the race benign.
+func BuildShard(dir string, li int, l layout.Layout, cfg Config) (computed bool, quarantined string, err error) {
+	_, ok, rerr := readShard(dir, li, l.Name)
+	switch {
+	case rerr != nil && artifact.Rejected(rerr):
+		q, qerr := artifact.Quarantine(shardPath(dir, li))
+		if qerr != nil {
+			return false, "", fmt.Errorf("sampling: shard %d rejected (%v) and not quarantinable: %w", li, rerr, qerr)
+		}
+		quarantined = q
+	case rerr != nil:
+		return false, "", rerr
+	case ok:
+		return false, "", nil
+	}
+	s, err := computeShard(l, li, cfg)
+	if err != nil {
+		return false, quarantined, err
+	}
+	if err := writeShard(dir, s); err != nil {
+		return false, quarantined, err
+	}
+	return true, quarantined, nil
+}
+
+// VerifyShard checks that the sealed shard for layout index li exists, passes
+// envelope verification, decodes, and belongs to layoutName — the manifest
+// builder's pre-digest gate. A missing shard is an error here, unlike during
+// resume.
+func VerifyShard(dir string, li int, layoutName string) error {
+	_, ok, err := readShard(dir, li, layoutName)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("sampling: shard %d (%s) missing from %s", li, layoutName, dir)
+	}
+	return nil
 }
 
 // CheckpointShards reports how many of the n layout shards exist in dir —

@@ -64,6 +64,99 @@ func TestBuildDatasetCheckpointResumeBitIdentical(t *testing.T) {
 	}
 }
 
+// TestBuildDatasetCheckpointForeignFilesIgnored pins the resume scan's
+// contract with the dataset factory: a checkpoint directory littered with
+// foreign files — editor droppings, factory leases and poison records, stray
+// quarantine corpses — must resume cleanly and bit-identically, reading only
+// shard_NNNNN.gob files and leaving the litter untouched.
+func TestBuildDatasetCheckpointForeignFilesIgnored(t *testing.T) {
+	p := pool(t, 3)
+	cfg := testConfig()
+	cfg.Workers = 1
+
+	var wantLog strings.Builder
+	want, wantGroups, err := BuildDataset(p, cfg, &wantLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg.Checkpoint = dir
+	junk := map[string]string{
+		"notes.txt~":                  "editor dropping",
+		"shard_00000.gob.lease":       `{"token":"t","pid":1,"index":0}`,
+		"shard_00001.poison":          "poison record",
+		"shard_00002.gob.quarantined": "old corpse",
+		"factory.gob":                 "factory spec",
+		".DS_Store":                   "finder litter",
+	}
+	for name, body := range junk {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	faultinject.Set(faultinject.CancelAfter, "1")
+	_, _, err = BuildDatasetCtx(context.Background(), p, cfg, nil)
+	faultinject.Reset()
+	if err == nil {
+		t.Fatal("interrupted build must return the context error")
+	}
+
+	var resLog strings.Builder
+	ds, groups, err := BuildDatasetCtx(context.Background(), p, cfg, &resLog)
+	if err != nil {
+		t.Fatalf("resume amid foreign files failed: %v", err)
+	}
+	if !reflect.DeepEqual(ds, want) || !reflect.DeepEqual(groups, wantGroups) {
+		t.Fatal("resume amid foreign files diverged from the clean build")
+	}
+	if resLog.String() != wantLog.String() {
+		t.Fatalf("resumed progress log diverged:\n%s", resLog.String())
+	}
+	for name, body := range junk {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil || string(got) != body {
+			t.Fatalf("foreign file %s disturbed: %q err=%v", name, got, err)
+		}
+	}
+}
+
+// TestBuildShardIdempotent: the factory's unit of work computes once, reuses
+// the sealed shard on re-claim, and two builds leave byte-identical files.
+func TestBuildShardIdempotent(t *testing.T) {
+	p := pool(t, 2)
+	cfg := testConfig()
+	dir := t.TempDir()
+
+	computed, q, err := BuildShard(dir, 1, p[1], cfg)
+	if err != nil || !computed || q != "" {
+		t.Fatalf("first BuildShard: computed=%v q=%q err=%v", computed, q, err)
+	}
+	first, err := os.ReadFile(ShardFile(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShard(dir, 1, p[1].Name); err != nil {
+		t.Fatalf("VerifyShard after build: %v", err)
+	}
+	if err := VerifyShard(dir, 0, p[0].Name); err == nil {
+		t.Fatal("VerifyShard must report a missing shard")
+	}
+
+	computed, q, err = BuildShard(dir, 1, p[1], cfg)
+	if err != nil || computed || q != "" {
+		t.Fatalf("re-claimed BuildShard: computed=%v q=%q err=%v", computed, q, err)
+	}
+	second, err := os.ReadFile(ShardFile(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("re-claimed shard bytes differ")
+	}
+}
+
 // TestBuildDatasetCheckpointStaleDirRejected: resuming against shards from a
 // different layout list must fail loudly, not stitch foreign samples in.
 func TestBuildDatasetCheckpointStaleDirRejected(t *testing.T) {

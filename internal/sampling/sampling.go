@@ -178,6 +178,33 @@ func Label(opt *ilt.Optimizer, d decomp.Decomposition, w model.ScoreWeights) flo
 	return w.Score(r.L2, r.EPE.Violations, r.Violations.Total())
 }
 
+// computeShard runs the deterministic per-layout labeling pipeline — sampled
+// decompositions, one fresh optimizer, Eq. 9 labels plus CNN input images —
+// and returns the result as a shard. This is the single compute path shared
+// by BuildDatasetCtx and the factory's BuildShard, which is what makes a
+// multi-process factory corpus byte-identical to a serial build.
+func computeShard(l layout.Layout, li int, cfg Config) (shard, error) {
+	cands, err := SampleDecompositions(l, cfg)
+	if err != nil {
+		return shard{}, fmt.Errorf("sampling: layout %s: %w", l.Name, err)
+	}
+	opt, err := ilt.NewOptimizer(l, cfg.ILT)
+	if err != nil {
+		return shard{}, fmt.Errorf("sampling: layout %s: %w", l.Name, err)
+	}
+	s := shard{
+		Layout: l.Name,
+		Index:  li,
+		Imgs:   make([]*grid.Grid, len(cands)),
+		Scores: make([]float64, len(cands)),
+	}
+	for i, d := range cands {
+		s.Scores[i] = Label(opt, d, cfg.Weights)
+		s.Imgs[i] = d.GrayImage(cfg.Res, cfg.ImageSize)
+	}
+	return s, nil
+}
+
 // BuildDataset labels every sampled decomposition of every layout and
 // returns the dataset plus the per-layout sample-index groups (used for
 // ranking metrics). Progress lines go to log when non-nil. It is
@@ -238,27 +265,13 @@ func BuildDatasetCtx(ctx context.Context, layouts []layout.Layout, cfg Config, l
 				return
 			}
 		}
-		cands, err := SampleDecompositions(l, cfg)
+		s, err := computeShard(l, li, cfg)
 		if err != nil {
-			results[li] = labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
+			results[li] = labeled{err: err}
 			return
 		}
-		opt, err := ilt.NewOptimizer(l, cfg.ILT)
-		if err != nil {
-			results[li] = labeled{err: fmt.Errorf("sampling: layout %s: %w", l.Name, err)}
-			return
-		}
-		out := labeled{
-			imgs:        make([]*grid.Grid, len(cands)),
-			scores:      make([]float64, len(cands)),
-			quarantined: quarantined,
-		}
-		for i, d := range cands {
-			out.scores[i] = Label(opt, d, cfg.Weights)
-			out.imgs[i] = d.GrayImage(cfg.Res, cfg.ImageSize)
-		}
+		out := labeled{imgs: s.Imgs, scores: s.Scores, quarantined: quarantined}
 		if cfg.Checkpoint != "" {
-			s := shard{Layout: l.Name, Index: li, Imgs: out.imgs, Scores: out.scores}
 			if err := writeShard(cfg.Checkpoint, s); err != nil {
 				results[li] = labeled{err: err}
 				return

@@ -13,8 +13,8 @@ git diff --exit-code
 
 go vet ./...
 go build ./...
-go test -timeout 300s ./...
-go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject ./internal/artifact ./internal/model ./internal/serve
+go test -timeout 300s -shuffle=on ./...
+go test -timeout 600s -race ./internal/litho ./internal/fft ./internal/core ./internal/par ./internal/sampling ./internal/runx ./internal/faultinject ./internal/artifact ./internal/model ./internal/serve ./internal/factory
 go test -run='^$' -fuzz='^FuzzReadGDS$' -fuzztime=10s ./internal/gds
 
 # Spectral-engine gates: alloc-regression tests on the ILT hot path, a
@@ -48,3 +48,10 @@ go run ./cmd/ldmo-bench -exp pipebench -fast -deadline 120s -out "$tmpout"
 # a multi-client overload burst and records latency percentiles, throughput,
 # and shed rate to BENCH_serve.json.
 go run ./cmd/ldmo-bench -exp servebench -fast -deadline 120s -out "$tmpout"
+
+# Factory gates: lease claiming, reclaim, hung-worker kill, poison quarantine,
+# and both re-exec'd chaos drills (SIGKILL mid-build converging byte-identical
+# to the serial reference) run under -race via ./internal/factory above; the
+# quick bench repeats the chaos drill in-process, measures scaling, reclaim and
+# resume cost, and fails if the chaos manifest diverges from the serial one.
+go run ./cmd/ldmo-bench -exp factorybench -fast -deadline 180s -out "$tmpout"
