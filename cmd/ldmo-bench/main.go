@@ -11,8 +11,9 @@
 //	ldmo-bench -exp ablation          # selection-policy ablation
 //	ldmo-bench -exp parbench          # serial-vs-parallel OracleSelect,
 //	                                  # emits BENCH_parallel.json
-//	ldmo-bench -exp fftbench          # complex-vs-real spectral engine A/B,
-//	                                  # emits BENCH_fft.json
+//	ldmo-bench -exp fftbench          # complex-vs-real spectral engine A/B
+//	                                  # plus scalar-vs-AVX kernel A/B on
+//	                                  # amd64, emits BENCH_fft.json
 //	ldmo-bench -exp nnbench           # naive-vs-blocked NN compute core A/B,
 //	                                  # emits BENCH_nn.json
 //	ldmo-bench -exp pipebench         # stage-at-a-time vs pipelined flow,

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"ldmo/internal/decomp"
+	"ldmo/internal/fft"
+	"ldmo/internal/grid"
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/model"
+	"ldmo/internal/sampling"
+)
+
+// asmTrajectory is everything the train-then-rank pipeline decides: the raw
+// ILT labels of every candidate, the training loss history, the predictor
+// scores, the resulting candidate ranking, and the flow's selected
+// decomposition. All of it must be bitwise/exactly equal across engines.
+type asmTrajectory struct {
+	labels  []float64
+	hist    []float64
+	preds   []float64
+	order   []string
+	bestKey string
+}
+
+// TestFFTASMGoldenTrainThenRank is the engine-swap golden for the amd64
+// vector spectral kernels: a full train-then-rank trajectory — ILT labeling
+// of decomposition candidates, predictor training on those labels, score
+// ranking, and OracleSelect — is bit-identical under the vector engine and
+// the scalar reference (LDMO_FFT_ASM=off). This is the flow-level statement
+// of the asm contract: not merely "close", but the same floats, so every
+// discrete decision downstream is exactly unchanged.
+func TestFFTASMGoldenTrainThenRank(t *testing.T) {
+	if !fft.ASMAvailable() {
+		t.Skip("vector engine unavailable on this host; nothing to compare")
+	}
+	cell, err := layout.Cell("INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	w := model.DefaultScoreWeights()
+
+	run := func(asm string) asmTrajectory {
+		t.Setenv(fft.EnvASM, asm)
+		gen := decomp.NewGenerator()
+		gen.Classify = cfg.Classify
+		gen.Seed = cfg.Seed
+		cands, err := gen.Generate(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iltCfg := cfg.ILT
+		iltCfg.AbortOnViolation = false
+		opt, err := ilt.NewOptimizer(cell, iltCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := asmTrajectory{}
+		ds := &model.Dataset{}
+		for _, d := range cands {
+			score := sampling.Label(opt, d, w)
+			v.labels = append(v.labels, score)
+			ds.Add(d.GrayImage(cfg.ImageRes, cfg.ImageSize), score)
+		}
+		pred, err := model.New(model.TinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc := model.DefaultTrainConfig()
+		tc.Epochs = 2
+		tc.BatchSize = 4
+		hist, err := pred.Train(ds, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.hist = hist
+		imgs := make([]*grid.Grid, ds.Len())
+		for i := range imgs {
+			imgs[i] = ds.Samples[i].Image
+		}
+		v.preds = pred.PredictBatch(imgs)
+		order := make([]int, len(cands))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return v.preds[order[a]] < v.preds[order[b]] })
+		for _, oi := range order {
+			v.order = append(v.order, cands[oi].Key())
+		}
+		d, _, err := OracleSelect(cell, cfg, w.Alpha, w.Beta, w.Gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.bestKey = d.Key()
+		return v
+	}
+
+	ref := run(fft.ASMOff)
+	got := run("")
+	if len(got.labels) != len(ref.labels) {
+		t.Fatalf("candidate count diverged: %d vs %d", len(got.labels), len(ref.labels))
+	}
+	for i := range ref.labels {
+		if got.labels[i] != ref.labels[i] {
+			t.Errorf("ILT label %d diverged: %g (vector) vs %g (scalar)", i, got.labels[i], ref.labels[i])
+		}
+	}
+	for i := range ref.hist {
+		if got.hist[i] != ref.hist[i] {
+			t.Errorf("epoch %d loss diverged: %g (vector) vs %g (scalar)", i, got.hist[i], ref.hist[i])
+		}
+	}
+	for i := range ref.preds {
+		if got.preds[i] != ref.preds[i] {
+			t.Errorf("prediction %d diverged: %g (vector) vs %g (scalar)", i, got.preds[i], ref.preds[i])
+		}
+	}
+	for i := range ref.order {
+		if got.order[i] != ref.order[i] {
+			t.Errorf("ranking[%d] = %q (vector) vs %q (scalar)", i, got.order[i], ref.order[i])
+		}
+	}
+	if got.bestKey != ref.bestKey {
+		t.Errorf("OracleSelect picked %q (vector) vs %q (scalar)", got.bestKey, ref.bestKey)
+	}
+}

@@ -31,17 +31,35 @@ type FFTBenchOp struct {
 	Reps int `json:"reps"`
 }
 
+// FFTVecOp is one scalar-vs-vector measurement of the same operation: the
+// pure-Go reference engine (LDMO_FFT_ASM=off) against the amd64 AVX kernels.
+// Both run the default real-input spectral mode; the two engines produce
+// bit-identical output, so the ratio is pure instruction throughput.
+type FFTVecOp struct {
+	// ScalarNs and VectorNs are ns/op under each kernel engine; Speedup is
+	// scalar/vector (>1 means the vector kernels won).
+	ScalarNs float64 `json:"scalar_ns_op"`
+	VectorNs float64 `json:"vector_ns_op"`
+	Speedup  float64 `json:"speedup"`
+	// Reps is how many iterations each timing loop completed.
+	Reps int `json:"reps"`
+}
+
 // FFTBench is the machine-readable record cmd/ldmo-bench writes to
-// BENCH_fft.json: the A/B comparison of the spectral engine overhaul.
+// BENCH_fft.json: the A/B comparison of the spectral engine overhaul, plus
+// the scalar-vs-vector kernel comparison on hosts with the AVX engine.
 type FFTBench struct {
 	// Raster/Kernel are the benchmark geometry (pixels); GOMAXPROCS and
 	// Workers document that the comparison is algorithmic, not parallel
-	// (worker lanes are pinned to 1).
-	Raster     int  `json:"raster"`
-	Kernel     int  `json:"kernel"`
-	GOMAXPROCS int  `json:"gomaxprocs"`
-	Workers    int  `json:"workers"`
-	Quick      bool `json:"quick"`
+	// (worker lanes are pinned to 1). NumCPU and CPUFeatures identify the
+	// host so ns/op records are interpretable across machines.
+	Raster      int      `json:"raster"`
+	Kernel      int      `json:"kernel"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"numcpu"`
+	CPUFeatures []string `json:"cpu_features"`
+	Workers     int      `json:"workers"`
+	Quick       bool     `json:"quick"`
 
 	// Convolve is one Plan.Convolve (forward + product + inverse);
 	// Aerial/Backward are full SOCS forward and adjoint evaluations over
@@ -61,6 +79,20 @@ type FFTBench struct {
 	ILTCell  string     `json:"ilt_cell"`
 	ILTIters int        `json:"ilt_iters"`
 	ILT      FFTBenchOp `json:"ilt_wall"`
+
+	// VectorEnabled reports whether the host ran the scalar-vs-vector leg
+	// (amd64 with AVX2); the Vec* records are zero when it could not.
+	// VecForward is the butterfly-dominated 2-D forward transform;
+	// VecApplySpec is the pointwise product + inverse (Plan.ApplySpecWith,
+	// correlate form); VecAccumulate is the pure pointwise fused-gradient
+	// kernel (fft.AccumulateConj over one spectrum); VecBackward is the full
+	// SOCS fused adjoint; VecILT is the end-to-end ILT wall time.
+	VectorEnabled bool     `json:"vector_enabled"`
+	VecForward    FFTVecOp `json:"vec_forward"`
+	VecApplySpec  FFTVecOp `json:"vec_apply_spec"`
+	VecAccumulate FFTVecOp `json:"vec_accumulate_conj"`
+	VecBackward   FFTVecOp `json:"vec_aerial_backward"`
+	VecILT        FFTVecOp `json:"vec_ilt_wall"`
 }
 
 // withFFTMode runs fn with LDMO_FFT set to mode, restoring the previous
@@ -74,6 +106,22 @@ func withFFTMode(mode string, fn func() error) error {
 			os.Setenv(fft.EnvMode, prev)
 		} else {
 			os.Unsetenv(fft.EnvMode)
+		}
+	}()
+	return fn()
+}
+
+// withFFTASM runs fn with LDMO_FFT_ASM set to mode, restoring the previous
+// value. Plans capture the kernel engine at construction, so fn must build
+// every plan/simulator it measures.
+func withFFTASM(mode string, fn func() error) error {
+	prev, had := os.LookupEnv(fft.EnvASM)
+	os.Setenv(fft.EnvASM, mode)
+	defer func() {
+		if had {
+			os.Setenv(fft.EnvASM, prev)
+		} else {
+			os.Unsetenv(fft.EnvASM)
 		}
 	}()
 	return fn()
@@ -105,11 +153,13 @@ func timeOp(ctx context.Context, reps int, fn func()) (float64, int, error) {
 func RunFFTBench(o Options) (FFTBench, error) {
 	ctx := o.context()
 	out := FFTBench{
-		Raster:     224,
-		Kernel:     31,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    1,
-		Quick:      o.Fast,
+		Raster:      224,
+		Kernel:      31,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		CPUFeatures: fft.CPUFeatures(),
+		Workers:     1,
+		Quick:       o.Fast,
 	}
 	reps := 40
 	iltCell := "AOI211_X1"
@@ -237,6 +287,71 @@ func RunFFTBench(o Options) (FFTBench, error) {
 	if err := measure("ilt-e2e", &out.ILT, iltOp); err != nil {
 		return out, err
 	}
+
+	// Scalar-vs-vector kernel comparison, real mode on both sides. Skipped
+	// (records stay zero) on hosts without the AVX engine.
+	if !fft.ASMAvailable() {
+		o.logf("fftbench: vector engine unavailable; skipping scalar-vs-vector leg\n")
+		return out, nil
+	}
+	out.VectorEnabled = true
+	fwdOp := func() (float64, int, error) {
+		p := fft.NewPlan(out.Raster, out.Raster, out.Kernel, out.Kernel)
+		return timeOp(ctx, reps, func() { p.Forward(img) })
+	}
+	applyOp := func() (float64, int, error) {
+		p := fft.NewPlan(out.Raster, out.Raster, out.Kernel, out.Kernel)
+		kf := p.TransformKernel(kernel)
+		dst := make([]float64, len(img))
+		s := p.NewScratch()
+		spec := p.ForwardInto(s, img)
+		return timeOp(ctx, reps, func() { p.ApplySpecWith(s, spec, kf, dst, true) })
+	}
+	accumOp := func() (float64, int, error) {
+		p := fft.NewPlan(out.Raster, out.Raster, out.Kernel, out.Kernel)
+		kf := p.TransformKernel(kernel)
+		spec := p.Forward(img)
+		acc := make([]complex128, p.SpecLen())
+		// Pointwise reps scale up: one spectrum pass is far cheaper than a
+		// whole convolution, and the kernel is what this record isolates.
+		return timeOp(ctx, reps*8, func() { fft.AccumulateConj(acc, spec, kf) })
+	}
+	measureVec := func(name string, dst *FFTVecOp, op func() (float64, int, error)) error {
+		var err error
+		if e := withFFTASM(fft.ASMOff, func() error {
+			dst.ScalarNs, dst.Reps, err = op()
+			return err
+		}); e != nil {
+			return fmt.Errorf("%s (scalar): %w", name, e)
+		}
+		if e := withFFTASM("", func() error {
+			dst.VectorNs, _, err = op()
+			return err
+		}); e != nil {
+			return fmt.Errorf("%s (vector): %w", name, e)
+		}
+		if dst.VectorNs > 0 {
+			dst.Speedup = dst.ScalarNs / dst.VectorNs
+		}
+		o.logf("fftbench %-16s scalar  %12.0f ns/op  vec  %12.0f ns/op  speedup %.2fx\n",
+			name, dst.ScalarNs, dst.VectorNs, dst.Speedup)
+		return nil
+	}
+	if err := measureVec("vec-forward", &out.VecForward, fwdOp); err != nil {
+		return out, err
+	}
+	if err := measureVec("vec-applyspec", &out.VecApplySpec, applyOp); err != nil {
+		return out, err
+	}
+	if err := measureVec("vec-accumulate", &out.VecAccumulate, accumOp); err != nil {
+		return out, err
+	}
+	if err := measureVec("vec-backward", &out.VecBackward, func() (float64, int, error) { return simOp(true) }); err != nil {
+		return out, err
+	}
+	if err := measureVec("vec-ilt-e2e", &out.VecILT, iltOp); err != nil {
+		return out, err
+	}
 	return out, nil
 }
 
@@ -252,8 +367,8 @@ func (b FFTBench) WriteJSON(path string) error {
 // Render prints the human-readable summary.
 func (b FFTBench) Render(w io.Writer) {
 	fmt.Fprintln(w, "Spectral engine A/B benchmark (complex reference vs real-input path)")
-	fmt.Fprintf(w, "raster %dx%d  kernel %dx%d  workers %d (GOMAXPROCS %d)  quick %v\n",
-		b.Raster, b.Raster, b.Kernel, b.Kernel, b.Workers, b.GOMAXPROCS, b.Quick)
+	fmt.Fprintf(w, "raster %dx%d  kernel %dx%d  workers %d (GOMAXPROCS %d, %d CPUs, features %v)  quick %v\n",
+		b.Raster, b.Raster, b.Kernel, b.Kernel, b.Workers, b.GOMAXPROCS, b.NumCPU, b.CPUFeatures, b.Quick)
 	row := func(name string, op FFTBenchOp) {
 		fmt.Fprintf(w, "%-16s complex %12.0f ns/op   real %12.0f ns/op   speedup %.2fx\n",
 			name, op.ComplexNs, op.RealNs, op.Speedup)
@@ -265,4 +380,18 @@ func (b FFTBench) Render(w io.Writer) {
 	fmt.Fprintf(w, "steady-state allocs/op (real path): convolve %.1f  aerial %.1f  backward %.1f\n",
 		b.ConvolveAllocs, b.AerialAllocs, b.BackwardAllocs)
 	fmt.Fprintf(w, "ILT: cell %s, %d iterations per engine\n", b.ILTCell, b.ILTIters)
+	if !b.VectorEnabled {
+		fmt.Fprintln(w, "vector kernels: unavailable on this host (scalar reference only)")
+		return
+	}
+	fmt.Fprintln(w, "Kernel engine A/B (pure-Go scalar vs amd64 AVX, bit-identical output)")
+	vrow := func(name string, op FFTVecOp) {
+		fmt.Fprintf(w, "%-16s scalar  %12.0f ns/op   vec  %12.0f ns/op   speedup %.2fx\n",
+			name, op.ScalarNs, op.VectorNs, op.Speedup)
+	}
+	vrow("Forward", b.VecForward)
+	vrow("ApplySpec", b.VecApplySpec)
+	vrow("AccumulateConj", b.VecAccumulate)
+	vrow("AerialBackward", b.VecBackward)
+	vrow("ILT end-to-end", b.VecILT)
 }

@@ -29,8 +29,11 @@ type ParallelBench struct {
 	NumCPU     int `json:"numcpu"`
 	// Constrained flags a run taken with GOMAXPROCS=1: the speedup number
 	// then measures scheduling overhead, not parallelism, and must not be
-	// read as the flow's parallel scaling.
-	Constrained bool `json:"constrained"`
+	// read as the flow's parallel scaling. Warning carries that caveat as
+	// text inside the record itself, so a JSON consumer that never looks at
+	// the boolean cannot misquote the numbers silently.
+	Constrained bool   `json:"constrained"`
+	Warning     string `json:"warning,omitempty"`
 	// SerialSec and ParallelSec are wall-clock seconds for the full
 	// OracleSelect sweep at 1 and Workers lanes; Speedup = serial/parallel.
 	SerialSec   float64 `json:"serial_sec"`
@@ -65,7 +68,8 @@ func RunParallelBench(o Options) (ParallelBench, error) {
 	}
 	out.Constrained = out.GOMAXPROCS == 1
 	if out.Constrained {
-		o.logf("parbench: WARNING: GOMAXPROCS=1 (numcpu=%d) — the runtime schedules every goroutine on one core, so parallel timings measure overhead only; marking the record constrained\n", out.NumCPU)
+		out.Warning = fmt.Sprintf("GOMAXPROCS=1 (numcpu=%d): every goroutine runs on one core, so parallel timings measure scheduling overhead only, not the flow's parallel scaling", out.NumCPU)
+		o.logf("parbench: WARNING: %s\n", out.Warning)
 	}
 
 	cfg.Workers = 1

@@ -30,7 +30,11 @@ type PipelineBench struct {
 	NumCPU     int `json:"numcpu"`
 	// Constrained flags a GOMAXPROCS=1 run: pipeline timings then measure
 	// scheduling overhead plus batching amortization, not stage overlap.
-	Constrained bool `json:"constrained"`
+	// Warning carries the caveat as text inside the record itself, so a
+	// JSON consumer that never looks at the boolean cannot misquote the
+	// numbers silently.
+	Constrained bool   `json:"constrained"`
+	Warning     string `json:"warning,omitempty"`
 	// SerialSec is the wall time of a layout-at-a-time RunContext loop;
 	// PipelineSec the wall time of RunPipeline over the same slice.
 	SerialSec   float64 `json:"serial_sec"`
@@ -98,7 +102,8 @@ func RunPipelineBench(o Options) (PipelineBench, error) {
 	}
 	out.Constrained = out.GOMAXPROCS == 1
 	if out.Constrained {
-		o.logf("pipebench: WARNING: GOMAXPROCS=1 (numcpu=%d) — stages cannot physically overlap, so pipeline_sec measures batching amortization plus scheduling overhead; marking the record constrained\n", out.NumCPU)
+		out.Warning = fmt.Sprintf("GOMAXPROCS=1 (numcpu=%d): stages cannot physically overlap, so pipeline_sec measures batching amortization plus scheduling overhead, not stage overlap", out.NumCPU)
+		o.logf("pipebench: WARNING: %s\n", out.Warning)
 	}
 
 	pred := o.Predictor

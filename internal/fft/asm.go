@@ -1,0 +1,88 @@
+package fft
+
+import "os"
+
+// Vector-engine selection. The hot loops of the spectral engine — butterfly
+// stages, pointwise complex multiplies, and the half-spectrum
+// untangle/repack — have amd64 AVX forms (asm_amd64.s) that are
+// bit-identical to the scalar Go reference on finite inputs: products use
+// separate mul and add (no FMA), every element's accumulation order is
+// unchanged, and only commutative additions are reordered. The scalar code
+// is the reference implementation and the only path on non-amd64 or
+// pre-AVX2 hosts; LDMO_FFT_ASM=off forces it everywhere, which is how CI
+// keeps the fallback from rotting and how benchmarks A/B the two engines.
+
+// EnvASM selects the butterfly/pointwise kernel implementation: the default
+// is the vector (amd64 AVX) engine where the host supports it; setting
+// LDMO_FFT_ASM=off forces the pure-Go scalar reference engine. Plans capture
+// the engine at construction (it is part of the plan-cache key), so a flip
+// only affects plans built afterwards.
+const EnvASM = "LDMO_FFT_ASM"
+
+// ASMOff is the EnvASM value forcing the scalar reference engine.
+const ASMOff = "off"
+
+// ASMAvailable reports whether this host can run the vector kernels at all
+// (amd64 with AVX2 and OS-saved YMM state).
+func ASMAvailable() bool { return haveFFTASM }
+
+// ASMEnabled reports whether the vector engine is in effect right now:
+// available on this host and not disabled via LDMO_FFT_ASM=off.
+func ASMEnabled() bool { return vecEnabled() }
+
+// CPUFeatures lists the detected vector capabilities ("avx", "avx2") for
+// bench records, so BENCH_fft.json numbers are interpretable across hosts.
+func CPUFeatures() []string {
+	var f []string
+	if haveAVX {
+		f = append(f, "avx")
+	}
+	if haveAVX2 {
+		f = append(f, "avx2")
+	}
+	return f
+}
+
+// vecEnabled is the per-call dispatch read. Package-level entry points
+// (FFT, IFFT, AccumulateConj, MulConj) consult it directly; Plans read it
+// once at construction so a plan's transforms, spectra, and cache identity
+// stay engine-consistent for the plan's lifetime.
+func vecEnabled() bool { return haveFFTASM && os.Getenv(EnvASM) != ASMOff }
+
+// cmulInto computes dst[i] = a[i] * b[i] on the vector engine, peeling the
+// odd tail bin to the scalar expression. Callers guarantee equal lengths.
+func cmulInto(dst, a, b []complex128) {
+	n := len(dst)
+	if v := n &^ 1; v > 0 {
+		cmulAVX(&dst[0], &a[0], &b[0], v)
+	}
+	if n&1 == 1 {
+		dst[n-1] = a[n-1] * b[n-1]
+	}
+}
+
+// cmulConjInto computes dst[i] = a[i] * conj(b[i]) on the vector engine,
+// peeling the odd tail bin.
+func cmulConjInto(dst, a, b []complex128) {
+	n := len(dst)
+	if v := n &^ 1; v > 0 {
+		cmulConjAVX(&dst[0], &a[0], &b[0], v)
+	}
+	if n&1 == 1 {
+		k := b[n-1]
+		dst[n-1] = a[n-1] * complex(real(k), -imag(k))
+	}
+}
+
+// accumConjInto computes acc[i] += a[i] * conj(b[i]) on the vector engine,
+// peeling the odd tail bin.
+func accumConjInto(acc, a, b []complex128) {
+	n := len(acc)
+	if v := n &^ 1; v > 0 {
+		accumConjAVX(&acc[0], &a[0], &b[0], v)
+	}
+	if n&1 == 1 {
+		k := b[n-1]
+		acc[n-1] += a[n-1] * complex(real(k), -imag(k))
+	}
+}

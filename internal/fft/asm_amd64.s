@@ -1,0 +1,423 @@
+// AVX kernels for the spectral engine, built on the same determinism
+// contract as the GEMM micro-kernels in internal/tensor: products use
+// separate VMULPD/VADDPD/VSUBPD (no FMA — rounding must match the scalar
+// reference exactly), vector lanes always map to DIFFERENT complex bins
+// (two adjacent complex128 per YMM register, never a split accumulation),
+// and every arithmetic expression is evaluated with exactly the operand
+// structure the Go compiler gives the scalar loops. Addition operands may
+// be commuted (IEEE addition is commutative on non-NaN values), so the
+// kernels are bit-identical to the pure-Go reference on finite inputs.
+//
+// The complex multiply x*w = (xr*wr - xi*wi) + i(xr*wi + xi*wr) is the
+// shared six-instruction sequence:
+//
+//	wr   = VPERMILPD $0x0 (w)          [wr, wr] per lane
+//	wi   = VPERMILPD $0xF (w)          [wi, wi] per lane
+//	t1   = x * wr                      [xr*wr, xi*wr]
+//	xs   = VPERMILPD $0x5 (x)          [xi, xr]
+//	t2   = xs * wi                     [xi*wi, xr*wi]
+//	prod = VADDSUBPD t1, t2            [xr*wr - xi*wi, xi*wr + xr*wi]
+//
+// VADDSUBPD subtracts in the real slot and adds in the imaginary slot,
+// which is exactly the scalar formula (the imaginary sum is commuted).
+
+#include "textflag.h"
+
+// Sign-bit mask over the imaginary slot of each complex128: XOR conjugates.
+DATA conjMask<>+0(SB)/8, $0x0000000000000000
+DATA conjMask<>+8(SB)/8, $0x8000000000000000
+DATA conjMask<>+16(SB)/8, $0x0000000000000000
+DATA conjMask<>+24(SB)/8, $0x8000000000000000
+GLOBL conjMask<>(SB), RODATA|NOPTR, $32
+
+// Sign-bit mask over the real slot: XOR computes i*x from the swapped pair.
+DATA negReMask<>+0(SB)/8, $0x8000000000000000
+DATA negReMask<>+8(SB)/8, $0x0000000000000000
+DATA negReMask<>+16(SB)/8, $0x8000000000000000
+DATA negReMask<>+24(SB)/8, $0x0000000000000000
+GLOBL negReMask<>(SB), RODATA|NOPTR, $32
+
+DATA halfConst<>+0(SB)/8, $0.5
+GLOBL halfConst<>(SB), RODATA|NOPTR, $8
+
+DATA negHalfConst<>+0(SB)/8, $-0.5
+GLOBL negHalfConst<>(SB), RODATA|NOPTR, $8
+
+// func cpuFeatureProbe() (avx, avx2 bool)
+//
+// Reports AVX/AVX2 support: CPUID.1:ECX must show OSXSAVE (bit 27) and AVX
+// (bit 28), XCR0 must confirm the OS saves XMM+YMM state, and AVX2 is
+// CPUID.(7,0):EBX bit 5 — the same probe shape as tensor.cpuidAVX.
+TEXT ·cpuFeatureProbe(SB), NOSPLIT, $0-2
+	MOVQ $1, AX
+	XORQ CX, CX
+	CPUID
+	MOVQ CX, R8
+	SHRQ $27, R8
+	ANDQ $1, R8        // OSXSAVE
+	MOVQ CX, R9
+	SHRQ $28, R9
+	ANDQ $1, R9        // AVX
+	ANDQ R9, R8
+	JZ   none
+	XORL CX, CX
+	XGETBV
+	ANDQ $6, AX        // XCR0 bits 1..2: XMM and YMM state enabled
+	CMPQ AX, $6
+	JNE  none
+	MOVB $1, avx+0(FP)
+	MOVQ $7, AX
+	XORQ CX, CX
+	CPUID
+	MOVQ BX, R8
+	SHRQ $5, R8
+	ANDQ $1, R8        // AVX2
+	MOVB R8, avx2+1(FP)
+	RET
+none:
+	MOVB $0, avx+0(FP)
+	MOVB $0, avx2+1(FP)
+	RET
+
+// func fftStageAVX(x *complex128, n, half int, tw *complex128)
+//
+// One whole radix-2 butterfly stage over the n-element array at x: for each
+// size-2*half block, a = x[k], b = x[k+half]*tw[k-start], x[k] = a+b,
+// x[k+half] = a-b, two butterflies per iteration. tw is the stage's
+// contiguous twiddle run from the vector layout in tables.go (the exact
+// Sincos-sampled values the scalar path reads with stride n/size). half
+// must be >= 2, so every block is a whole number of 32-byte vectors and no
+// tail exists inside the stage.
+TEXT ·fftStageAVX(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), DI
+	MOVQ n+8(FP), AX
+	MOVQ half+16(FP), DX
+	MOVQ tw+24(FP), R9
+	SHLQ $4, AX              // n in bytes
+	SHLQ $4, DX              // half in bytes
+	LEAQ (DI)(AX*1), R8      // end of the array
+outer:
+	CMPQ DI, R8
+	JGE  done
+	LEAQ (DI)(DX*1), BX      // b pointer: x + half
+	XORQ SI, SI
+inner:
+	CMPQ SI, DX
+	JGE  innerdone
+	VMOVUPD   (BX)(SI*1), Y1   // b = [b0, b1]
+	VMOVUPD   (R9)(SI*1), Y2   // w = [w0, w1]
+	VPERMILPD $0x0, Y2, Y10    // [w0r, w0r, w1r, w1r]
+	VPERMILPD $0xF, Y2, Y11    // [w0i, w0i, w1i, w1i]
+	VMULPD    Y1, Y10, Y12     // b * wr
+	VPERMILPD $0x5, Y1, Y13    // [b0i, b0r, b1i, b1r]
+	VMULPD    Y13, Y11, Y13    // bswap * wi
+	VADDSUBPD Y13, Y12, Y14    // t = b * w
+	VMOVUPD   (DI)(SI*1), Y0   // a
+	VADDPD    Y14, Y0, Y15
+	VMOVUPD   Y15, (DI)(SI*1)  // x[k] = a + t
+	VSUBPD    Y14, Y0, Y15
+	VMOVUPD   Y15, (BX)(SI*1)  // x[k+half] = a - t
+	ADDQ      $32, SI
+	JMP       inner
+innerdone:
+	LEAQ (BX)(DX*1), DI      // next block: skip the half just written
+	JMP  outer
+done:
+	VZEROUPPER
+	RET
+
+// func cmulAVX(dst, a, b *complex128, n int)
+//
+// dst[i] = a[i] * b[i] for i < n, two bins per iteration. n must be even
+// (the Go wrapper peels the odd tail).
+TEXT ·cmulAVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ n+24(FP), CX
+	SHLQ $4, CX
+	XORQ DX, DX
+cmloop:
+	CMPQ DX, CX
+	JGE  cmdone
+	VMOVUPD   (SI)(DX*1), Y1
+	VMOVUPD   (BX)(DX*1), Y2
+	VPERMILPD $0x0, Y2, Y10
+	VPERMILPD $0xF, Y2, Y11
+	VMULPD    Y1, Y10, Y12
+	VPERMILPD $0x5, Y1, Y13
+	VMULPD    Y13, Y11, Y13
+	VADDSUBPD Y13, Y12, Y14
+	VMOVUPD   Y14, (DI)(DX*1)
+	ADDQ      $32, DX
+	JMP       cmloop
+cmdone:
+	VZEROUPPER
+	RET
+
+// func cmulConjAVX(dst, a, b *complex128, n int)
+//
+// dst[i] = a[i] * conj(b[i]) for i < n (n even). The conjugation is an
+// exact sign-bit flip, then the shared multiply sequence.
+TEXT ·cmulConjAVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ n+24(FP), CX
+	SHLQ $4, CX
+	XORQ DX, DX
+	VMOVUPD conjMask<>(SB), Y8
+ccloop:
+	CMPQ DX, CX
+	JGE  ccdone
+	VMOVUPD   (SI)(DX*1), Y1
+	VMOVUPD   (BX)(DX*1), Y2
+	VXORPD    Y8, Y2, Y2       // conj(b)
+	VPERMILPD $0x0, Y2, Y10
+	VPERMILPD $0xF, Y2, Y11
+	VMULPD    Y1, Y10, Y12
+	VPERMILPD $0x5, Y1, Y13
+	VMULPD    Y13, Y11, Y13
+	VADDSUBPD Y13, Y12, Y14
+	VMOVUPD   Y14, (DI)(DX*1)
+	ADDQ      $32, DX
+	JMP       ccloop
+ccdone:
+	VZEROUPPER
+	RET
+
+// func accumConjAVX(acc, a, b *complex128, n int)
+//
+// acc[i] += a[i] * conj(b[i]) for i < n (n even) — the fused
+// frequency-domain gradient accumulation. The add reads the prior
+// accumulator value exactly as the scalar += does.
+TEXT ·accumConjAVX(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ n+24(FP), CX
+	SHLQ $4, CX
+	XORQ DX, DX
+	VMOVUPD conjMask<>(SB), Y8
+acloop:
+	CMPQ DX, CX
+	JGE  acdone
+	VMOVUPD   (SI)(DX*1), Y1
+	VMOVUPD   (BX)(DX*1), Y2
+	VXORPD    Y8, Y2, Y2
+	VPERMILPD $0x0, Y2, Y10
+	VPERMILPD $0xF, Y2, Y11
+	VMULPD    Y1, Y10, Y12
+	VPERMILPD $0x5, Y1, Y13
+	VMULPD    Y13, Y11, Y13
+	VADDSUBPD Y13, Y12, Y14
+	VMOVUPD   (DI)(DX*1), Y0
+	VADDPD    Y14, Y0, Y15     // acc + product, scalar += order
+	VMOVUPD   Y15, (DI)(DX*1)
+	ADDQ      $32, DX
+	JMP       acloop
+acdone:
+	VZEROUPPER
+	RET
+
+// func rfftUntangleAVX(pa, pd, ptw *complex128, np int)
+//
+// np double-iterations of the forward half-spectrum untangle (rfftRow):
+// iteration i handles bins k = 1+2i and k+1 with
+//
+//	a = z[k], b = conj(z[m-k])
+//	even = (a+b) * (0.5+0i)
+//	odd  = (a-b) * (0-0.5i)
+//	t    = odd * w_k                    (w from the length-n table)
+//	dst[k]   = even + t
+//	dst[m-k] = conj(even - t)
+//
+// pa points at z[1] (ascending), pd at z[m-2] (the descending pair is
+// loaded as one vector and lane-swapped), ptw at fwd[1]. The 0.5-scalings
+// run the full complex-multiply formula — including the ±0 imaginary
+// products — because that is what the scalar `(a+b) * 0.5` compiles to.
+TEXT ·rfftUntangleAVX(SB), NOSPLIT, $0-32
+	MOVQ pa+0(FP), DI
+	MOVQ pd+8(FP), BX
+	MOVQ ptw+16(FP), R9
+	MOVQ np+24(FP), CX
+	VMOVUPD      conjMask<>(SB), Y8
+	VBROADCASTSD halfConst<>(SB), Y9     // [0.5 x4]
+	VXORPD       Y10, Y10, Y10           // [0 x4]
+	VBROADCASTSD negHalfConst<>(SB), Y11 // [-0.5 x4]
+unloop:
+	TESTQ CX, CX
+	JZ    undone
+	VMOVUPD    (DI), Y0            // a = [z[k], z[k+1]]
+	VMOVUPD    (BX), Y1            // [z[m-k-1], z[m-k]]
+	VPERM2F128 $0x01, Y1, Y1, Y1   // [z[m-k], z[m-k-1]]
+	VXORPD     Y8, Y1, Y1          // b = conj
+	VADDPD     Y1, Y0, Y2          // s = a + b
+	VSUBPD     Y1, Y0, Y3          // d = a - b
+	// even = cmul(s, 0.5+0i): wr = 0.5, wi = +0
+	VMULPD    Y2, Y9, Y13
+	VPERMILPD $0x5, Y2, Y14
+	VMULPD    Y14, Y10, Y14
+	VADDSUBPD Y14, Y13, Y4
+	// odd = cmul(d, 0-0.5i): wr = +0, wi = -0.5
+	VMULPD    Y3, Y10, Y13
+	VPERMILPD $0x5, Y3, Y14
+	VMULPD    Y14, Y11, Y14
+	VADDSUBPD Y14, Y13, Y5
+	// t = cmul(odd, w)
+	VMOVUPD   (R9), Y6
+	VPERMILPD $0x0, Y6, Y13
+	VPERMILPD $0xF, Y6, Y14
+	VMULPD    Y5, Y13, Y13
+	VPERMILPD $0x5, Y5, Y15
+	VMULPD    Y15, Y14, Y14
+	VADDSUBPD Y14, Y13, Y7
+	// dst[k] = even + t
+	VADDPD  Y7, Y4, Y13
+	VMOVUPD Y13, (DI)
+	// dst[m-k] = conj(even - t), stored lane-swapped descending
+	VSUBPD     Y7, Y4, Y13
+	VXORPD     Y8, Y13, Y13
+	VPERM2F128 $0x01, Y13, Y13, Y13
+	VMOVUPD    Y13, (BX)
+	ADDQ $32, DI
+	ADDQ $32, R9
+	SUBQ $32, BX
+	DECQ CX
+	JMP  unloop
+undone:
+	VZEROUPPER
+	RET
+
+// func irfftRepackAVX(pa, pd, ptw *complex128, np int)
+//
+// np double-iterations of the inverse repack (irfftRow): iteration i
+// handles bins k = 1+2i and k+1 with
+//
+//	a = src[k], b = conj(src[m-k])
+//	even = (a+b) * (0.5+0i)
+//	h    = (a-b) * (0.5+0i)
+//	odd  = h * conj(w_k)
+//	src[k]   = even + i*odd
+//	src[m-k] = conj(even) + i*conj(odd)
+//
+// Pointer layout matches rfftUntangleAVX.
+TEXT ·irfftRepackAVX(SB), NOSPLIT, $0-32
+	MOVQ pa+0(FP), DI
+	MOVQ pd+8(FP), BX
+	MOVQ ptw+16(FP), R9
+	MOVQ np+24(FP), CX
+	VMOVUPD      conjMask<>(SB), Y8
+	VBROADCASTSD halfConst<>(SB), Y9
+	VXORPD       Y10, Y10, Y10
+	VMOVUPD      negReMask<>(SB), Y12
+reloop:
+	TESTQ CX, CX
+	JZ    redone
+	VMOVUPD    (DI), Y0
+	VMOVUPD    (BX), Y1
+	VPERM2F128 $0x01, Y1, Y1, Y1
+	VXORPD     Y8, Y1, Y1          // b = conj(src[m-k])
+	VADDPD     Y1, Y0, Y2          // s = a + b
+	VSUBPD     Y1, Y0, Y3          // d = a - b
+	// even = cmul(s, 0.5+0i)
+	VMULPD    Y2, Y9, Y13
+	VPERMILPD $0x5, Y2, Y14
+	VMULPD    Y14, Y10, Y14
+	VADDSUBPD Y14, Y13, Y4
+	// h = cmul(d, 0.5+0i)
+	VMULPD    Y3, Y9, Y13
+	VPERMILPD $0x5, Y3, Y14
+	VMULPD    Y14, Y10, Y14
+	VADDSUBPD Y14, Y13, Y5
+	// odd = cmul(h, conj(w))
+	VMOVUPD   (R9), Y6
+	VXORPD    Y8, Y6, Y6
+	VPERMILPD $0x0, Y6, Y13
+	VPERMILPD $0xF, Y6, Y14
+	VMULPD    Y5, Y13, Y13
+	VPERMILPD $0x5, Y5, Y15
+	VMULPD    Y15, Y14, Y14
+	VADDSUBPD Y14, Y13, Y7
+	// src[k] = even + i*odd, where i*odd = [-odd_i, odd_r]
+	VPERMILPD $0x5, Y7, Y13
+	VXORPD    Y12, Y13, Y13
+	VADDPD    Y13, Y4, Y13
+	VMOVUPD   Y13, (DI)
+	// src[m-k] = conj(even) + i*conj(odd) = [even_r + odd_i, odd_r - even_i]
+	VXORPD     Y8, Y4, Y14
+	VPERMILPD  $0x5, Y7, Y15
+	VADDPD     Y15, Y14, Y14
+	VPERM2F128 $0x01, Y14, Y14, Y14
+	VMOVUPD    Y14, (BX)
+	ADDQ $32, DI
+	ADDQ $32, R9
+	SUBQ $32, BX
+	DECQ CX
+	JMP  reloop
+redone:
+	VZEROUPPER
+	RET
+
+// func packPairsAVX(dst *complex128, src *float64, n int)
+//
+// The rfft even/odd pack: dst[j] = complex(src[2j], src[2j+1]) for j < n,
+// which is a straight 16n-byte copy reinterpreting float64 pairs as
+// complex128 — the scalar loop's loads and stores, 32 bytes at a time.
+TEXT ·packPairsAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHLQ $4, CX
+	XORQ DX, DX
+ppvec:
+	LEAQ 32(DX), AX
+	CMPQ AX, CX
+	JGT  pptail
+	VMOVUPD (SI)(DX*1), Y0
+	VMOVUPD Y0, (DI)(DX*1)
+	MOVQ    AX, DX
+	JMP     ppvec
+pptail:
+	CMPQ DX, CX
+	JGE  ppdone
+	VMOVUPD (SI)(DX*1), X0
+	VMOVUPD X0, (DI)(DX*1)
+	ADDQ    $16, DX
+	JMP     pptail
+ppdone:
+	VZEROUPPER
+	RET
+
+// func scaleUnpackAVX(dst *float64, src *complex128, s float64, n int)
+//
+// The irfft unpack: dst[2j] = real(src[j])*s, dst[2j+1] = imag(src[j])*s
+// for j < n — elementwise float64 multiply by the broadcast row norm,
+// exactly the two scalar multiplies per bin.
+TEXT ·scaleUnpackAVX(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	VBROADCASTSD s+16(FP), Y1
+	MOVQ         n+24(FP), CX
+	SHLQ         $4, CX
+	XORQ         DX, DX
+suvec:
+	LEAQ 32(DX), AX
+	CMPQ AX, CX
+	JGT  sutail
+	VMOVUPD (SI)(DX*1), Y0
+	VMULPD  Y0, Y1, Y0
+	VMOVUPD Y0, (DI)(DX*1)
+	MOVQ    AX, DX
+	JMP     suvec
+sutail:
+	CMPQ DX, CX
+	JGE  sudone
+	VMOVUPD (SI)(DX*1), X0
+	VMULPD  X0, X1, X0
+	VMOVUPD X0, (DI)(DX*1)
+	ADDQ    $16, DX
+	JMP     sutail
+sudone:
+	VZEROUPPER
+	RET

@@ -39,6 +39,7 @@ type Plan struct {
 	HW     int // spectral row width: PW/2+1 (real mode) or PW (complex)
 
 	realMode bool
+	vec      bool      // engine captured at construction (see EnvASM)
 	twRow    *twiddles // length-PW tables (rows; rfft untangling)
 	twHalf   *twiddles // length-PW/2 tables (packed rfft core; nil in complex mode)
 	twCol    *twiddles // length-PH tables (columns)
@@ -70,6 +71,7 @@ func NewPlan(w, h, kw, kh int) *Plan {
 	ph := NextPow2(h + kh - 1)
 	p := &Plan{W: w, H: h, KW: kw, KH: kh, PW: pw, PH: ph}
 	p.realMode = os.Getenv(EnvMode) != ModeComplex
+	p.vec = vecEnabled()
 	if p.realMode {
 		p.HW = rfftLen(pw)
 		if pw > 1 {
@@ -86,6 +88,11 @@ func NewPlan(w, h, kw, kh int) *Plan {
 
 // RealMode reports whether the plan uses the half-spectrum real-input path.
 func (p *Plan) RealMode() bool { return p.realMode }
+
+// Vectorized reports whether this plan runs the amd64 vector kernels. The
+// engine is captured at construction and is part of the shared-plan cache
+// identity, like the spectral mode.
+func (p *Plan) Vectorized() bool { return p.vec }
 
 // SpecLen returns the length of this plan's spectral buffers — what Forward
 // returns and TransformKernel produces, and the size callers must allocate
@@ -129,15 +136,15 @@ func (p *Plan) transformKernel(s *Scratch, kernel []float64) []complex128 {
 	kf := make([]complex128, p.SpecLen())
 	if p.realMode {
 		for y := 0; y < p.PH; y++ {
-			rfftRow(kf[y*p.HW:(y+1)*p.HW], wrapped[y*p.PW:(y+1)*p.PW], p.twHalf, p.twRow)
+			rfftRow(kf[y*p.HW:(y+1)*p.HW], wrapped[y*p.PW:(y+1)*p.PW], p.twHalf, p.twRow, p.vec)
 		}
-		transformCols(kf, p.HW, p.PH, p.twCol, false, s.col)
+		transformCols(kf, p.HW, p.PH, p.twCol, false, s.col, p.vec)
 		return kf
 	}
 	for i, v := range wrapped {
 		kf[i] = complex(v, 0)
 	}
-	transform2D(kf, p.PW, p.PH, false, s.col)
+	transform2D(kf, p.PW, p.PH, false, s.col, p.vec)
 	return kf
 }
 
@@ -190,13 +197,13 @@ func (p *Plan) ForwardInto(s *Scratch, img []float64) []complex128 {
 	spec := s.spec
 	if p.realMode {
 		for y := 0; y < p.H; y++ {
-			rfftRow(spec[y*p.HW:(y+1)*p.HW], img[y*p.W:(y+1)*p.W], p.twHalf, p.twRow)
+			rfftRow(spec[y*p.HW:(y+1)*p.HW], img[y*p.W:(y+1)*p.W], p.twHalf, p.twRow, p.vec)
 		}
 		tail := spec[p.H*p.HW:]
 		for i := range tail {
 			tail[i] = 0
 		}
-		transformCols(spec, p.HW, p.PH, p.twCol, false, s.col)
+		transformCols(spec, p.HW, p.PH, p.twCol, false, s.col, p.vec)
 		return spec
 	}
 	for y := 0; y < p.H; y++ {
@@ -211,7 +218,7 @@ func (p *Plan) ForwardInto(s *Scratch, img []float64) []complex128 {
 	for i := p.H * p.PW; i < len(spec); i++ {
 		spec[i] = 0
 	}
-	transform2D(spec, p.PW, p.PH, false, s.col)
+	transform2D(spec, p.PW, p.PH, false, s.col, p.vec)
 	return spec
 }
 
@@ -231,12 +238,17 @@ func (p *Plan) ApplySpecWith(s *Scratch, spec, kfft []complex128, out []float64,
 		panic("fft: spectrum or kernel transform from a different plan")
 	}
 	buf := s.buf
-	if conj {
+	switch {
+	case p.vec && conj:
+		cmulConjInto(buf, spec, kfft)
+	case p.vec:
+		cmulInto(buf, spec, kfft)
+	case conj:
 		for i := range buf {
 			k := kfft[i]
 			buf[i] = spec[i] * complex(real(k), -imag(k))
 		}
-	} else {
+	default:
 		for i := range buf {
 			buf[i] = spec[i] * kfft[i]
 		}
@@ -266,10 +278,10 @@ func (p *Plan) inverseInto(s *Scratch, freq []complex128, out []float64) {
 		panic(fmt.Sprintf("fft: out length %d != %dx%d", len(out), p.W, p.H))
 	}
 	if p.realMode {
-		transformCols(freq, p.HW, p.PH, p.twCol, true, s.col)
+		transformCols(freq, p.HW, p.PH, p.twCol, true, s.col, p.vec)
 		norm := 1 / float64(p.PH)
 		for y := 0; y < p.H; y++ {
-			irfftRow(s.rrow, freq[y*p.HW:(y+1)*p.HW], p.twHalf, p.twRow)
+			irfftRow(s.rrow, freq[y*p.HW:(y+1)*p.HW], p.twHalf, p.twRow, p.vec)
 			orow := out[y*p.W : (y+1)*p.W]
 			for x := range orow {
 				orow[x] = s.rrow[x] * norm
@@ -277,7 +289,7 @@ func (p *Plan) inverseInto(s *Scratch, freq []complex128, out []float64) {
 		}
 		return
 	}
-	transform2D(freq, p.PW, p.PH, true, s.col)
+	transform2D(freq, p.PW, p.PH, true, s.col, p.vec)
 	for y := 0; y < p.H; y++ {
 		for x := 0; x < p.W; x++ {
 			out[y*p.W+x] = real(freq[y*p.PW+x])
@@ -292,8 +304,28 @@ func AccumulateConj(acc, spec, kfft []complex128) {
 	if len(acc) != len(spec) || len(acc) != len(kfft) {
 		panic(fmt.Sprintf("fft: accumulate length mismatch %d/%d/%d", len(acc), len(spec), len(kfft)))
 	}
+	if vecEnabled() {
+		accumConjInto(acc, spec, kfft)
+		return
+	}
 	for i, k := range kfft {
 		acc[i] += spec[i] * complex(real(k), -imag(k))
+	}
+}
+
+// MulConj writes spec[i] * conj(kfft[i]) into dst — the non-accumulating
+// form of AccumulateConj used by workers that own a private per-kernel
+// spectrum buffer. All three slices must share one plan's spectral layout.
+func MulConj(dst, spec, kfft []complex128) {
+	if len(dst) != len(spec) || len(dst) != len(kfft) {
+		panic(fmt.Sprintf("fft: mulconj length mismatch %d/%d/%d", len(dst), len(spec), len(kfft)))
+	}
+	if vecEnabled() {
+		cmulConjInto(dst, spec, kfft)
+		return
+	}
+	for i, k := range kfft {
+		dst[i] = spec[i] * complex(real(k), -imag(k))
 	}
 }
 

@@ -32,18 +32,20 @@ func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 // FFT performs an in-place forward radix-2 Cooley-Tukey transform of x.
 // len(x) must be a power of two; it panics otherwise, since a bad length is
 // always a programming error in this codebase (callers pad explicitly).
-func FFT(x []complex128) { transformWith(x, tablesFor(len(x)), false) }
+func FFT(x []complex128) { transformWith(x, tablesFor(len(x)), false, vecEnabled()) }
 
 // IFFT performs an in-place inverse transform of x, including the 1/N
 // normalization, so IFFT(FFT(x)) == x up to rounding.
 func IFFT(x []complex128) {
-	transformWith(x, tablesFor(len(x)), true)
+	transformWith(x, tablesFor(len(x)), true, vecEnabled())
 	scale(x, 1/float64(len(x)))
 }
 
 // transformWith runs the in-place radix-2 transform of x against
 // precomputed tables; len(x) must equal tw.n. No normalization is applied.
-func transformWith(x []complex128, tw *twiddles, inverse bool) {
+// vec selects the AVX butterfly kernel for the stages wide enough to
+// vectorize; either way the result is bit-identical (finite inputs).
+func transformWith(x []complex128, tw *twiddles, inverse, vec bool) {
 	n := tw.n
 	if len(x) != n {
 		panic(fmt.Sprintf("fft: length %d != table size %d", len(x), n))
@@ -58,8 +60,27 @@ func transformWith(x []complex128, tw *twiddles, inverse bool) {
 		}
 	}
 	tab := tw.fwd
+	stg := tw.stgFwd
 	if inverse {
-		tab = tw.inv
+		tab, stg = tw.inv, tw.stgInv
+	}
+	if vec && n >= 4 {
+		// First stage (half = 1): single-butterfly blocks with the lone
+		// twiddle tab[0] — too narrow for a two-complex vector, kept as the
+		// exact scalar expression.
+		for k := 0; k < n; k += 2 {
+			a := x[k]
+			b := x[k+1] * tab[0]
+			x[k] = a + b
+			x[k+1] = a - b
+		}
+		// Every remaining stage is whole 32-byte vectors: the stage's
+		// twiddles sit contiguous at stg[half-1] (see stageLayout).
+		for size := 4; size <= n; size <<= 1 {
+			half := size >> 1
+			fftStageAVX(&x[0], n, half, &stg[half-1])
+		}
+		return
 	}
 	// Iterative butterflies; stage size s reads the table with stride n/s.
 	for size := 2; size <= n; size <<= 1 {
@@ -99,14 +120,14 @@ const colBlock = 8
 // comes from a pool, so steady-state calls do not allocate.
 func FFT2D(data []complex128, w, h int) {
 	strip := getStrip(colBlock * h)
-	transform2D(data, w, h, false, *strip)
+	transform2D(data, w, h, false, *strip, vecEnabled())
 	putStrip(strip)
 }
 
 // IFFT2D inverts FFT2D, including normalization.
 func IFFT2D(data []complex128, w, h int) {
 	strip := getStrip(colBlock * h)
-	transform2D(data, w, h, true, *strip)
+	transform2D(data, w, h, true, *strip, vecEnabled())
 	putStrip(strip)
 }
 
@@ -114,18 +135,18 @@ func IFFT2D(data []complex128, w, h int) {
 // caller-provided column strip (len >= h; larger strips enable blocked
 // column processing); Plan threads its reusable scratch through here so the
 // convolution hot path performs no per-call allocation.
-func transform2D(data []complex128, w, h int, inverse bool, col []complex128) {
+func transform2D(data []complex128, w, h int, inverse bool, col []complex128, vec bool) {
 	if len(data) != w*h {
 		panic(fmt.Sprintf("fft: data length %d != %d x %d", len(data), w, h))
 	}
 	rtw := tablesFor(w)
 	for y := 0; y < h; y++ {
-		transformWith(data[y*w:(y+1)*w], rtw, inverse)
+		transformWith(data[y*w:(y+1)*w], rtw, inverse, vec)
 	}
 	if inverse {
 		scale(data, 1/float64(w))
 	}
-	transformCols(data, w, h, tablesFor(h), inverse, col)
+	transformCols(data, w, h, tablesFor(h), inverse, col, vec)
 	if inverse {
 		scale(data, 1/float64(h))
 	}
@@ -135,7 +156,7 @@ func transform2D(data []complex128, w, h int, inverse bool, col []complex128) {
 // the length-h tables, processing as many columns per pass as the strip
 // scratch holds. The per-column results are independent of the blocking
 // factor. No normalization is applied.
-func transformCols(data []complex128, w, h int, tw *twiddles, inverse bool, col []complex128) {
+func transformCols(data []complex128, w, h int, tw *twiddles, inverse bool, col []complex128, vec bool) {
 	if len(col) < h {
 		panic(fmt.Sprintf("fft: column scratch %d < %d", len(col), h))
 	}
@@ -156,7 +177,7 @@ func transformCols(data []complex128, w, h int, tw *twiddles, inverse bool, col 
 			}
 		}
 		for j := 0; j < b; j++ {
-			transformWith(blk[j*h:(j+1)*h], tw, inverse)
+			transformWith(blk[j*h:(j+1)*h], tw, inverse, vec)
 		}
 		for y := 0; y < h; y++ {
 			row := data[y*w+x0 : y*w+x0+b]

@@ -19,14 +19,30 @@ import "fmt"
 // of the hw columns. Pointwise products of two such spectra (mask x kernel)
 // stay Hermitian, so convolution works bin-for-bin like the full-complex
 // path at half the width.
+//
+// On the vector engine (see asm.go) the pack, the untangle/repack pair
+// loop, and the inverse unpack run through the AVX kernels two bins per
+// iteration; the edge bins 0, m, and m/2 and the odd leftover pair stay on
+// the scalar expressions, and both engines produce bit-identical rows.
 
 // rfftLen returns the half-spectrum length of an n-point real transform.
 func rfftLen(n int) int { return n/2 + 1 }
 
+// untangleVecPairs returns how many double-iterations of the (k, m-k) pair
+// loop the vector kernels may take: pairs (k, k+1) starting at k=1 need
+// k+1 < m/2, leaving the tail iteration (if any) scalar.
+func untangleVecPairs(m int) int {
+	np := (m/2 - 2) / 2
+	if np < 0 {
+		return 0
+	}
+	return np
+}
+
 // rfftRow computes the n-point DFT of the n reals in src (n = twN.n) into
 // dst[0:n/2+1]. twM must be the tables for n/2. src may be shorter than n;
 // the tail is treated as zeros (callers pad rasters implicitly).
-func rfftRow(dst []complex128, src []float64, twM, twN *twiddles) {
+func rfftRow(dst []complex128, src []float64, twM, twN *twiddles, vec bool) {
 	n := twN.n
 	m := n / 2
 	if len(dst) < m+1 {
@@ -42,7 +58,21 @@ func rfftRow(dst []complex128, src []float64, twM, twN *twiddles) {
 	}
 	// Pack pairs of reals into the first m slots of dst, zero-extending.
 	z := dst[:m]
-	for j := range z {
+	j0 := 0
+	if vec {
+		// Whole pairs are a reinterpreting copy; the kernel streams them
+		// 32 bytes at a time. The boundary pair (odd src length) and the
+		// zero tail keep the scalar guards.
+		limit := len(src)
+		if limit > n {
+			limit = n
+		}
+		if pairs := limit / 2; pairs > 0 {
+			packPairsAVX(&z[0], &src[0], pairs)
+			j0 = pairs
+		}
+	}
+	for j := j0; j < m; j++ {
 		var re, im float64
 		if 2*j < len(src) {
 			re = src[2*j]
@@ -52,7 +82,7 @@ func rfftRow(dst []complex128, src []float64, twM, twN *twiddles) {
 		}
 		z[j] = complex(re, im)
 	}
-	transformWith(z, twM, false)
+	transformWith(z, twM, false, vec)
 	// Untangle: with A = Z[k], B = conj(Z[m-k]),
 	//   X[k]   = (A+B)/2 + W_n^k * (-i)(A-B)/2
 	//   X[m-k] = conj((A+B)/2 - W_n^k * (-i)(A-B)/2)
@@ -60,7 +90,14 @@ func rfftRow(dst []complex128, src []float64, twM, twN *twiddles) {
 	z0 := z[0]
 	dst[0] = complex(real(z0)+imag(z0), 0)
 	dst[m] = complex(real(z0)-imag(z0), 0)
-	for k := 1; 2*k < m; k++ {
+	k := 1
+	if vec {
+		if np := untangleVecPairs(m); np > 0 {
+			rfftUntangleAVX(&dst[1], &dst[m-2], &twN.fwd[1], np)
+			k = 1 + 2*np
+		}
+	}
+	for ; 2*k < m; k++ {
 		a := z[k]
 		b := complex(real(z[m-k]), -imag(z[m-k]))
 		even := (a + b) * 0.5
@@ -78,7 +115,7 @@ func rfftRow(dst []complex128, src []float64, twM, twN *twiddles) {
 // irfftRow inverts rfftRow: it consumes the half spectrum in src[0:n/2+1]
 // (destroying it) and writes the n reals into dst[0:n]. It applies the full
 // 1/n row normalization, so irfftRow(rfftRow(x)) == x up to rounding.
-func irfftRow(dst []float64, src []complex128, twM, twN *twiddles) {
+func irfftRow(dst []float64, src []complex128, twM, twN *twiddles, vec bool) {
 	n := twN.n
 	m := n / 2
 	if len(dst) < n {
@@ -96,7 +133,14 @@ func irfftRow(dst []float64, src []complex128, twM, twN *twiddles) {
 	//   Z[k] = E + i*O.
 	x0, xm := src[0], src[m]
 	src[0] = complex(real(x0)+real(xm), real(x0)-real(xm)) * 0.5
-	for k := 1; 2*k < m; k++ {
+	k := 1
+	if vec {
+		if np := untangleVecPairs(m); np > 0 {
+			irfftRepackAVX(&src[1], &src[m-2], &twN.fwd[1], np)
+			k = 1 + 2*np
+		}
+	}
+	for ; 2*k < m; k++ {
 		a := src[k]
 		b := complex(real(src[m-k]), -imag(src[m-k]))
 		even := (a + b) * 0.5
@@ -111,8 +155,12 @@ func irfftRow(dst []float64, src []complex128, twM, twN *twiddles) {
 		src[m/2] = complex(real(mid), -imag(mid))
 	}
 	z := src[:m]
-	transformWith(z, twM, true)
+	transformWith(z, twM, true, vec)
 	inv := 1 / float64(m)
+	if vec {
+		scaleUnpackAVX(&dst[0], &z[0], inv, m)
+		return
+	}
 	for j, c := range z {
 		dst[2*j] = real(c) * inv
 		dst[2*j+1] = imag(c) * inv

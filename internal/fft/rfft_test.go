@@ -52,9 +52,9 @@ func TestRFFTRoundTripAccuracy4096(t *testing.T) {
 	}
 	twM, twN := tablesFor(n/2), tablesFor(n)
 	spec := make([]complex128, n/2+1)
-	rfftRow(spec, x, twM, twN)
+	rfftRow(spec, x, twM, twN, false)
 	back := make([]float64, n)
-	irfftRow(back, spec, twM, twN)
+	irfftRow(back, spec, twM, twN, false)
 	for i := range x {
 		if d := math.Abs(back[i] - x[i]); d > 1e-12 {
 			t.Fatalf("real round-trip error %g at %d exceeds 1e-12", d, i)
@@ -75,7 +75,7 @@ func TestRFFTMatchesDFT(t *testing.T) {
 		}
 		want := naiveDFT(cx)
 		got := make([]complex128, n/2+1)
-		rfftRow(got, x, tablesFor(max(n/2, 1)), tablesFor(n))
+		rfftRow(got, x, tablesFor(max(n/2, 1)), tablesFor(n), false)
 		for k := range got {
 			if d := cmplx.Abs(got[k] - want[k]); d > 1e-9 {
 				t.Fatalf("n=%d: RFFT[%d] = %v, DFT = %v (|diff| %g)", n, k, got[k], want[k], d)
@@ -117,7 +117,7 @@ func TestRFFTParseval(t *testing.T) {
 		tEnergy += x[i] * x[i]
 	}
 	spec := make([]complex128, n/2+1)
-	rfftRow(spec, x, tablesFor(n/2), tablesFor(n))
+	rfftRow(spec, x, tablesFor(n/2), tablesFor(n), false)
 	var fEnergy float64
 	for k, v := range spec {
 		e := real(v)*real(v) + imag(v)*imag(v)

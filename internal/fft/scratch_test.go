@@ -125,7 +125,7 @@ func TestTransform2DColumnScratchPanic(t *testing.T) {
 			t.Fatal("expected panic on short column scratch")
 		}
 	}()
-	transform2D(make([]complex128, 16), 4, 4, false, make([]complex128, 2))
+	transform2D(make([]complex128, 16), 4, 4, false, make([]complex128, 2), false)
 }
 
 func BenchmarkPlanForward(b *testing.B) {

@@ -19,6 +19,7 @@ var (
 type planKey struct {
 	w, h, kw, kh int
 	realMode     bool
+	asm          bool // vector engine at lookup time (see EnvASM)
 }
 
 // PlanFor returns the process-wide shared plan for the given convolution
@@ -31,7 +32,8 @@ type planKey struct {
 // (Forward, Convolve, Correlate, ApplySpec) are NOT safe on a shared plan.
 func PlanFor(w, h, kw, kh int) *Plan {
 	key := planKey{w: w, h: h, kw: kw, kh: kh,
-		realMode: os.Getenv(EnvMode) != ModeComplex}
+		realMode: os.Getenv(EnvMode) != ModeComplex,
+		asm:      vecEnabled()}
 	planMu.Lock()
 	defer planMu.Unlock()
 	if p := planCache[key]; p != nil {

@@ -22,6 +22,17 @@ type twiddles struct {
 	rev []int32      // bit-reversal permutation of 0..n-1
 	fwd []complex128 // fwd[k] = exp(-2*pi*i*k/n), k < n/2
 	inv []complex128 // inv[k] = exp(+2*pi*i*k/n), k < n/2
+
+	// stgFwd/stgInv are the vector-friendly twiddle layout: the stage with
+	// half-size h reads fwd with stride n/(2h), so its h constants are
+	// scattered across the table; here they are copied out per stage into
+	// one contiguous run at offset h-1 (stages h = 1, 2, 4, … concatenate
+	// to n-1 entries), which is what lets the butterfly kernel issue plain
+	// 32-byte vector loads. The values are the same Sincos-sampled
+	// constants bit for bit. Built only on hosts that can run the vector
+	// engine; nil elsewhere.
+	stgFwd []complex128
+	stgInv []complex128
 }
 
 var (
@@ -68,7 +79,26 @@ func newTwiddles(n int) *twiddles {
 		t.fwd[k] = complex(c, -s)
 		t.inv[k] = complex(c, s)
 	}
+	if haveFFTASM && n >= 4 {
+		t.stgFwd = stageLayout(t.fwd, n)
+		t.stgInv = stageLayout(t.inv, n)
+	}
 	return t
+}
+
+// stageLayout copies the strided per-stage twiddle reads of tab into the
+// contiguous vector layout: stage half-size h occupies out[h-1 : 2h-1] with
+// out[h-1+j] = tab[j * n/(2h)].
+func stageLayout(tab []complex128, n int) []complex128 {
+	out := make([]complex128, n-1)
+	for half := 1; half <= n/2; half <<= 1 {
+		step := n / (2 * half)
+		dst := out[half-1 : 2*half-1]
+		for j := range dst {
+			dst[j] = tab[j*step]
+		}
+	}
+	return out
 }
 
 // stripPool recycles the column-strip scratch of the package-level

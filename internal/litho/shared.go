@@ -35,6 +35,7 @@ type sharedKey struct {
 	p           Params
 	w, h        int
 	complexMode bool
+	asm         bool // fft vector engine (LDMO_FFT_ASM); plans are engine-specific
 }
 
 // sharedFor returns the shared kernel bank / plan / kernel-spectrum set for
@@ -42,7 +43,8 @@ type sharedKey struct {
 // of the key, so a cached set is bit-identical to a freshly built one.
 func sharedFor(p Params, w, h int) *simShared {
 	key := sharedKey{p: p, w: w, h: h,
-		complexMode: os.Getenv(fft.EnvMode) == fft.ModeComplex}
+		complexMode: os.Getenv(fft.EnvMode) == fft.ModeComplex,
+		asm:         fft.ASMEnabled()}
 	sharedMu.Lock()
 	defer sharedMu.Unlock()
 	if s := sharedCache[key]; s != nil {

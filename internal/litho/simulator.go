@@ -267,12 +267,7 @@ func (s *Simulator) aerialBackwardFused(gradI []float64, fields *Fields, gradMas
 				ln.acc[i] = 2 * w * gradI[i] * amp[i]
 			}
 			spec := s.plan.ForwardInto(ln.fs, ln.acc)
-			ks := s.kspec[k]
-			kf := s.kffts[k]
-			for i := range ks {
-				c := kf[i]
-				ks[i] = spec[i] * complex(real(c), -imag(c))
-			}
+			fft.MulConj(s.kspec[k], spec, s.kffts[k])
 			s.clock.Charge(simclock.CostConvolution, 1)
 		})
 		// Reduce in fixed kernel order: the same per-bin additions, in the

@@ -23,6 +23,19 @@ go test -run='^$' -fuzz='^FuzzReadGDS$' -fuzztime=10s ./internal/gds
 # meaningful on reruns.
 go test -timeout 120s -run='ZeroAlloc|SteadyStateAllocs|HotPathZeroAlloc' ./internal/fft ./internal/litho ./internal/ilt ./internal/nn ./internal/tensor ./internal/par ./internal/model
 go test -run='^$' -bench='^BenchmarkFFT' -benchtime=100x ./internal/fft
+
+# Vector-kernel gates. go vet's asmdecl pass cross-checks every assembly
+# function against its Go declaration (frame size, argument offsets); run it
+# explicitly over the package carrying the .s files so the gate is visible
+# even if the repo-wide vet above ever narrows. Then the spectral suites and
+# their consumers run a second time with LDMO_FFT_ASM=off, so the pure-Go
+# scalar reference — the only engine on non-amd64 hosts — cannot rot, the
+# engine-equivalence fuzz seeds get a smoke run, and the zero-alloc contract
+# is proven under both engines.
+go vet ./internal/fft
+LDMO_FFT_ASM=off go test -timeout 300s ./internal/fft ./internal/litho ./internal/ilt ./internal/core
+LDMO_FFT_ASM=off go test -timeout 120s -run='ZeroAlloc|SteadyStateAllocs|HotPathZeroAlloc' ./internal/fft ./internal/litho ./internal/ilt
+go test -run='^$' -fuzz='^FuzzVecEquivalence$' -fuzztime=10s ./internal/fft
 tmpout="$(mktemp -d)"
 trap 'rm -rf "$tmpout"' EXIT
 go run ./cmd/ldmo-bench -exp fftbench -fast -deadline 120s -out "$tmpout"
