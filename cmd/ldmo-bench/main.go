@@ -22,6 +22,8 @@
 //	                                  # drill, emits BENCH_serve.json
 //	ldmo-bench -exp factorybench      # dataset-factory scaling + chaos
 //	                                  # drill, emits BENCH_factory.json
+//	ldmo-bench -exp warmbench         # learned ILT warm-start cold-vs-warm
+//	                                  # A/B, emits BENCH_warmstart.json
 //	ldmo-bench -exp all               # everything
 //
 // Flags:
@@ -56,7 +58,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, nnbench, pipebench, servebench, factorybench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1b, fig1c, fig7, fig8, ablation, parbench, fftbench, nnbench, pipebench, servebench, factorybench, warmbench, all")
 	fast := flag.Bool("fast", false, "coarse raster and reduced training budget")
 	modelPath := flag.String("model", "", "path to a trained predictor (optional)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -112,7 +114,7 @@ func main() {
 			run(name)
 			fmt.Println()
 		}
-	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench", "nnbench", "pipebench", "servebench", "factorybench":
+	case "table1", "fig1b", "fig1c", "fig7", "fig8", "ablation", "parbench", "fftbench", "nnbench", "pipebench", "servebench", "factorybench", "warmbench":
 		run(*exp)
 	default:
 		fatalf("unknown experiment %q", *exp)
@@ -244,6 +246,23 @@ func runExperiment(name string, opt experiments.Options, outDir string, w io.Wri
 		}
 		b.Render(w)
 		path := "BENCH_factory.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			path = filepath.Join(outDir, path)
+		}
+		if err := b.WriteJSON(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	case "warmbench":
+		b, err := experiments.RunWarmBench(opt)
+		if err != nil {
+			return err
+		}
+		b.Render(w)
+		path := "BENCH_warmstart.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

@@ -29,8 +29,10 @@ package artifact
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -317,6 +319,15 @@ func matchPoint(point, path string) bool {
 // from init() with every type they encode; init order is fixed by the import
 // graph, so every process of a given binary assigns the same IDs and sealed
 // payloads become byte-stable.
+// Digest returns the canonical content fingerprint of a payload: the
+// lowercase-hex SHA-256 of its bytes. Model checkpoints expose it as their
+// provenance identity, and the job service folds it into dedupe cache keys
+// so results computed by one set of weights are never served for another.
+func Digest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
 func StabilizeGob(vals ...any) {
 	enc := gob.NewEncoder(io.Discard)
 	for _, v := range vals {

@@ -61,6 +61,36 @@ type Config struct {
 	// deadline, and per-candidate iteration cap. The zero value is
 	// unlimited and adds no overhead to Run.
 	Budget runx.Budget
+	// WarmStarter, when non-nil, seeds every ILT run with a learned
+	// quasi-optimized mask field and enables the convergence-aware early
+	// stop, so saved iterations become saved wall-clock and model-seconds.
+	// The whole path is additionally gated by LDMO_WARMSTART (see
+	// ilt.WarmEnabled): with the gate off — or this field nil — the flow is
+	// bitwise identical to the cold flow. *model.WarmStarter implements the
+	// interface and is safe to share across concurrent layout runs.
+	WarmStarter ilt.Initializer
+	// WarmWindow and WarmTol override the early-stop plateau parameters
+	// used with WarmStarter; zero selects ilt.DefaultConvergeWindow and
+	// ilt.DefaultConvergeTol.
+	WarmWindow int
+	WarmTol    float64
+}
+
+// warmed applies the configured warm starter to an ILT config: candidate
+// runs get the initializer plus the convergence early stop. A nil
+// WarmStarter returns cfg untouched — the env gate itself lives in ilt, so
+// there is exactly one enforcement point for the off-path.
+func (c Config) warmed(iltCfg ilt.Config) ilt.Config {
+	if c.WarmStarter == nil {
+		return iltCfg
+	}
+	iltCfg.Init = c.WarmStarter
+	iltCfg.ConvergeWindow = c.WarmWindow
+	if iltCfg.ConvergeWindow <= 0 {
+		iltCfg.ConvergeWindow = ilt.DefaultConvergeWindow
+	}
+	iltCfg.ConvergeTol = c.WarmTol
+	return iltCfg
 }
 
 // DefaultConfig returns the paper's flow settings over the calibrated
@@ -285,7 +315,7 @@ func (lr *layoutRun) optimize(ctx context.Context) (Result, error) {
 	order := lr.order
 	res := lr.res
 
-	iltCfg := f.cfg.ILT
+	iltCfg := f.cfg.warmed(f.cfg.ILT)
 	iltCfg.AbortOnViolation = true
 	opt, err := ilt.NewOptimizer(l, iltCfg)
 	if err != nil {
@@ -440,7 +470,7 @@ func OracleSelect(l layout.Layout, cfg Config, alpha, beta, gamma float64) (deco
 	if len(cands) == 0 {
 		return decomp.Decomposition{}, ilt.Result{}, fmt.Errorf("core: no candidates for %q", l.Name)
 	}
-	iltCfg := cfg.ILT
+	iltCfg := cfg.warmed(cfg.ILT)
 	iltCfg.AbortOnViolation = false
 	pool := par.NewPool(cfg.Workers)
 	lanes := min(pool.Size(), len(cands))

@@ -1,0 +1,26 @@
+package factory
+
+import (
+	"context"
+	"io"
+
+	"ldmo/internal/model"
+	"ldmo/internal/sampling"
+)
+
+// ExtractWarmDataset harvests warm-start training pairs from an initialized
+// factory directory: it reads the sealed spec and replays the factory's own
+// deterministic per-layout labeling path, recording the (cold mask,
+// optimized field) pairs the score labels discard. The harvest is a pure
+// function of the spec, so the extracted dataset is as reproducible as the
+// corpus itself — the same directory always yields byte-identical pairs.
+//
+// wcfg.Workers-style parallelism follows the spec's sampling config; pass a
+// cancellable ctx to bound the ILT spend.
+func ExtractWarmDataset(ctx context.Context, dir string, wcfg sampling.WarmPairConfig, log io.Writer) (*model.WarmDataset, error) {
+	spec, err := ReadSpec(dir)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.BuildWarmPairsCtx(ctx, spec.Layouts, spec.Sampling, wcfg, log)
+}

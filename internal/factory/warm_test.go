@@ -1,0 +1,50 @@
+package factory
+
+import (
+	"context"
+	"testing"
+
+	"ldmo/internal/sampling"
+)
+
+func TestExtractWarmDatasetFromFactoryDir(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t, 2)
+	if _, err := Serial(context.Background(), dir, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSpec(dir, spec.normalized()); err != nil {
+		t.Fatal(err)
+	}
+	wcfg := sampling.WarmPairConfig{PerLayout: 1, Size: 32}
+	ds, err := ExtractWarmDataset(context.Background(), dir, wcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("no warm pairs extracted")
+	}
+	if ds.Size != 32 {
+		t.Fatalf("pair size %d, want 32", ds.Size)
+	}
+	// The extraction is a pure function of the sealed spec: a second pass
+	// over the same directory yields byte-identical pairs.
+	again, err := ExtractWarmDataset(context.Background(), dir, wcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != ds.Len() {
+		t.Fatalf("re-extraction changed pair count: %d vs %d", again.Len(), ds.Len())
+	}
+	for i := range ds.Pairs {
+		for j := range ds.Pairs[i].Opt1.Data {
+			if ds.Pairs[i].Opt1.Data[j] != again.Pairs[i].Opt1.Data[j] {
+				t.Fatalf("pair %d differs between extractions at %d", i, j)
+			}
+		}
+	}
+	// A directory without a spec is a typed failure, not a crash.
+	if _, err := ExtractWarmDataset(context.Background(), t.TempDir(), wcfg, nil); err == nil {
+		t.Fatal("extraction from an empty directory must fail")
+	}
+}

@@ -37,6 +37,30 @@ type Config struct {
 	AbortOnViolation bool
 	// CheckpointSpacing is the EPE checkpoint pitch in nm (paper-style 40).
 	CheckpointSpacing int
+	// Init, when non-nil, supplies a learned warm initial mask field per
+	// decomposition instead of the raw rasterized decomposition. It is
+	// honored only while WarmEnabled() (the LDMO_WARMSTART gate) holds; the
+	// gate is sampled at NewOptimizer time.
+	Init Initializer
+	// WarmClip is the clamp applied to a warm initial field before sigmoid
+	// inversion, replacing InitClip for warmed sessions only. InitClip
+	// protects a binary cold raster from the sigmoid's dead tails, but it
+	// also erases the saturation depth a converged continuous field carries
+	// — re-projecting an optimum through [0.02, 0.98] replays the cold
+	// trajectory almost exactly. A warm field therefore gets a much wider
+	// band (default 0.005) so the surrogate's prediction survives
+	// projection with its saturation intact while gradients still flow.
+	WarmClip float64
+	// ConvergeWindow enables convergence-aware early stop: at each
+	// violation-check boundary the run halts once the snapshot is perfect
+	// on every verdict metric (zero EPE and print violations — a warm start
+	// frequently begins there), or once the relative L2 improvement over
+	// the trailing ConvergeWindow iterations drops below ConvergeTol with
+	// no print violations outstanding. Zero disables the early stop (full
+	// budget, today's behavior); like Init it is gated behind
+	// LDMO_WARMSTART.
+	ConvergeWindow int
+	ConvergeTol    float64
 	// Litho is the process model.
 	Litho litho.Params
 	// Meter measures EPE.
@@ -51,6 +75,7 @@ func DefaultConfig() Config {
 		CheckEvery:        3,
 		StepSize:          2.0,
 		InitClip:          0.02,
+		WarmClip:          0.005,
 		AbortOnViolation:  true,
 		CheckpointSpacing: 40,
 		Litho:             litho.DefaultParams(),
@@ -73,8 +98,14 @@ func (c Config) Normalize() Config {
 	if c.InitClip <= 0 || c.InitClip >= 0.5 {
 		c.InitClip = d.InitClip
 	}
+	if c.WarmClip <= 0 || c.WarmClip >= 0.5 {
+		c.WarmClip = d.WarmClip
+	}
 	if c.CheckpointSpacing <= 0 {
 		c.CheckpointSpacing = d.CheckpointSpacing
+	}
+	if c.ConvergeWindow > 0 && c.ConvergeTol <= 0 {
+		c.ConvergeTol = DefaultConvergeTol
 	}
 	if c.Litho.Resolution == 0 {
 		c.Litho = d.Litho
@@ -119,6 +150,14 @@ type Result struct {
 	// the rollbacks that did succeed (non-zero on a run that recovered).
 	NumericalFault bool
 	NaNRecoveries  int
+	// WarmStart reports that the run was seeded by a Config.Init warm field
+	// rather than the cold rasterized decomposition.
+	WarmStart bool
+	// Converged reports that the convergence-aware early stop halted the run
+	// before the budget was spent; ConvergeIter is the iteration at which
+	// the plateau was detected.
+	Converged    bool
+	ConvergeIter int
 	// Iters is the number of gradient steps actually performed.
 	Iters int
 	// Trace records per-iteration statistics.
@@ -140,6 +179,7 @@ type Optimizer struct {
 	target   *grid.Grid
 	cps      []epe.Checkpoint
 	clock    *simclock.Clock
+	warmOn   bool     // LDMO_WARMSTART gate, sampled at construction
 	spare    *Session // recycled between RunCtx calls; see session()
 }
 
@@ -162,6 +202,7 @@ func NewOptimizer(l layout.Layout, cfg Config) (*Optimizer, error) {
 	return &Optimizer{
 		cfg:      cfg,
 		maxIters: cfg.MaxIters,
+		warmOn:   WarmEnabled(),
 		layout:   l,
 		sim:      sim,
 		target:   l.Rasterize(res),
@@ -278,15 +319,34 @@ func (o *Optimizer) RunCtx(ctx context.Context, d decomp.Decomposition) Result {
 			return snap
 		}
 		s.markGood()
-		if s.Remaining() > 0 && (o.cfg.AbortOnViolation || track) {
-			snap := s.Snapshot()
-			if o.cfg.AbortOnViolation && snap.Violations.Any() {
-				snap.Aborted = true
-				snap.AbortIter = s.Iter()
-				return snap
-			}
-			if track {
-				keep(snap)
+		if s.Remaining() > 0 {
+			// The convergence early stop is disabled unless configured and
+			// LDMO_WARMSTART allows it, so the cold path's snapshot schedule
+			// is untouched when the gate is off.
+			earlyStop := o.warmOn && o.cfg.ConvergeWindow > 0
+			plateau := earlyStop && s.plateaued(o.cfg.ConvergeWindow, o.cfg.ConvergeTol)
+			if o.cfg.AbortOnViolation || track || earlyStop {
+				snap := s.Snapshot()
+				if o.cfg.AbortOnViolation && snap.Violations.Any() {
+					snap.Aborted = true
+					snap.AbortIter = s.Iter()
+					return snap
+				}
+				// Converged means there is nothing left for the flow to gain:
+				// either the snapshot is already perfect on every verdict
+				// metric (zero EPE violations, zero print violations — a warm
+				// start frequently begins here), or the L2 trace has
+				// plateaued into a violation-free state. A plateau alone is
+				// not enough — stopping with violations outstanding would
+				// trade mask quality for iterations.
+				if earlyStop && !snap.Violations.Any() && (snap.EPE.Violations == 0 || plateau) {
+					snap.Converged = true
+					snap.ConvergeIter = s.Iter()
+					return snap
+				}
+				if track {
+					keep(snap)
+				}
 			}
 		}
 	}

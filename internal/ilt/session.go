@@ -7,6 +7,7 @@ import (
 	"ldmo/internal/faultinject"
 	"ldmo/internal/grid"
 	"ldmo/internal/litho"
+	"ldmo/internal/simclock"
 )
 
 // Session is an incremental ILT run: the optimizer state of one
@@ -46,6 +47,12 @@ type Session struct {
 	stepScale    float64
 	nanRetries   int
 	fault        bool
+
+	// Warm-start state: warm holds the initializer's predicted fields
+	// (lazily allocated on first warm reset, reused after); warmed records
+	// that the current run was seeded from them.
+	warm   [2][]float64
+	warmed bool
 }
 
 // maxNaNRetries bounds rollback-and-halve recovery attempts per run; a run
@@ -103,10 +110,38 @@ func (s *Session) reset(d interface {
 	s.nanRetries = 0
 	s.fault = false
 	masks := [2][]float64{m1g.Data, m2g.Data}
+	s.warmed = false
+	if o.cfg.Init != nil && o.warmOn {
+		if s.warm[0] == nil {
+			s.warm[0] = make([]float64, len(masks[0]))
+			s.warm[1] = make([]float64, len(masks[1]))
+		}
+		if o.cfg.Init.WarmMasksInto(m1g, m2g, s.warm[0], s.warm[1]) {
+			masks = s.warm
+			s.warmed = true
+			if o.clock != nil {
+				// The warm prediction is one CNN inference in the
+				// deterministic cost model; the iterations it saves are
+				// charged (or rather, not charged) by the simulator.
+				o.clock.Charge(simclock.CostCNNInference, 1)
+			}
+		}
+	}
+	// A warm continuous field keeps its saturation depth through the wider
+	// WarmClip band; the binary cold raster still gets InitClip's protection
+	// from the sigmoid's dead tails. The step size is tuned for the cold
+	// transient — from a near-optimal warm start the full step overshoots
+	// and oscillates away the head start, so warmed sessions descend at
+	// half scale (the NaN-recovery halving stacks on top as usual).
+	clip := o.cfg.InitClip
+	if s.warmed {
+		clip = o.cfg.WarmClip
+		s.stepScale = 0.5
+	}
 	for i := 0; i < 2; i++ {
 		// s.m[i] doubles as the clamp scratch; forward overwrites it anyway.
 		for j, v := range masks[i] {
-			s.m[i][j] = math.Min(math.Max(v, o.cfg.InitClip), 1-o.cfg.InitClip)
+			s.m[i][j] = math.Min(math.Max(v, clip), 1-clip)
 		}
 		litho.MaskSigmoidInverse(o.cfg.Litho.ThetaM, s.m[i], s.p[i])
 		copy(s.snapP[i], s.p[i])
@@ -247,11 +282,28 @@ func (s *Session) divergePoint() {
 // Remaining returns the unused iteration budget.
 func (s *Session) Remaining() int { return s.o.cfg.MaxIters - s.iter }
 
+// plateaued reports whether the relative L2 improvement over the trailing
+// window iterations of the trace has dropped below tol — the convergence
+// signal behind the warm-start early stop. It is a pure read of the trace:
+// no forward pass, no cost-model charge.
+func (s *Session) plateaued(window int, tol float64) bool {
+	n := len(s.trace)
+	if n <= window {
+		return false
+	}
+	first := s.trace[n-1-window].L2
+	last := s.trace[n-1].L2
+	if first <= 0 {
+		return true // already at (or below) zero loss: nothing left to gain
+	}
+	return (first-last)/first < tol
+}
+
 // Snapshot evaluates the current masks (one forward pass) and returns the
 // full printability measurement without advancing the iteration counter.
 func (s *Session) Snapshot() Result {
 	s.forward(false)
-	res := Result{Iters: s.iter, NaNRecoveries: s.nanRetries, Trace: append([]IterStat(nil), s.trace...)}
+	res := Result{Iters: s.iter, NaNRecoveries: s.nanRetries, WarmStart: s.warmed, Trace: append([]IterStat(nil), s.trace...)}
 	res.L2 = s.composed.L2Diff(s.o.target)
 	res.EPE = s.o.cfg.Meter.Measure(s.composed, s.o.cps)
 	res.Violations = epe.CheckPrintViolations(s.composed, s.o.layout.Patterns, s.o.cfg.Litho.PrintThreshold)

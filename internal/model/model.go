@@ -340,7 +340,7 @@ const (
 // (after nn's, which this package imports), so sealed payload bytes are a
 // pure function of the encoded state.
 func init() {
-	artifact.StabilizeGob(Config{}, ScoreNorm{}, trainCheckpoint{})
+	artifact.StabilizeGob(Config{}, ScoreNorm{}, trainCheckpoint{}, WarmConfig{}, WarmDataset{})
 }
 
 // Save writes architecture, normalization and weights to path inside a
@@ -352,6 +352,20 @@ func (p *Predictor) Save(path string) error {
 		return err
 	}
 	return artifact.WriteFile(path, predictorKind, predictorVersion, buf.Bytes())
+}
+
+// Digest returns the provenance fingerprint of the current architecture,
+// normalization and weights: the SHA-256 of the serialized checkpoint
+// bytes. Any retraining changes it — the job service folds it into dedupe
+// cache keys so a stale cached result is never served across a retrain.
+func (p *Predictor) Digest() string {
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		// Gob-encoding in-memory plain-data structs cannot fail; treat it
+		// as the programming error it would be.
+		panic(fmt.Sprintf("model: predictor digest: %v", err))
+	}
+	return artifact.Digest(buf.Bytes())
 }
 
 // Write streams the predictor to w.

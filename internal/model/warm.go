@@ -1,0 +1,417 @@
+package model
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+
+	"ldmo/internal/artifact"
+	"ldmo/internal/grid"
+	"ldmo/internal/nn"
+	"ldmo/internal/runx"
+	"ldmo/internal/tensor"
+)
+
+// WarmConfig describes the mask-initialization surrogate: a small
+// fully-convolutional residual net that maps the two cold decomposition
+// masks to a correction field, so warm = clamp(cold + net(cold), 0, 1).
+// Stride-1 3x3 convolutions throughout keep the output the same shape as
+// the input, and the residual form degrades gracefully: an untrained or
+// underfit net predicts a near-zero correction and the run falls back to
+// (almost) the cold trajectory instead of a garbage start.
+type WarmConfig struct {
+	// InputSize is the square field edge the net operates on; cold masks
+	// are box-resampled to it and the predicted correction is resampled
+	// back to the litho raster.
+	InputSize int
+	// Channels is the hidden width, Blocks the hidden conv/BN/ReLU repeat
+	// count.
+	Channels int
+	Blocks   int
+	// Kernel is the square convolution size (odd; 0 means 3). The optical
+	// interaction radius spans many raster pixels, so a wider kernel buys
+	// receptive field far cheaper than stacking blocks.
+	Kernel int
+	// DeadZone zeroes predicted corrections smaller than this magnitude
+	// before they are applied. The net's MSE-fit residual carries a small
+	// everywhere-blur; unfiltered, that blur lifts the warm field's
+	// background off the sigmoid's saturated tail and costs more image
+	// error than the genuine edge corrections recover. Zero disables.
+	DeadZone float64
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// DefaultWarmConfig returns the CPU-scale surrogate the experiments train in
+// minutes: 64x64 fields, 12 channels, two hidden 3x3 blocks, and a 0.02
+// dead-zone that keeps the MSE fit's everywhere-blur from lifting the warm
+// field's background off the sigmoid's saturated tail.
+func DefaultWarmConfig() WarmConfig {
+	return WarmConfig{InputSize: 64, Channels: 12, Blocks: 2, Kernel: 3, DeadZone: 0.02, Seed: 1}
+}
+
+// Validate reports the first problem with c, or nil.
+func (c WarmConfig) Validate() error {
+	if c.InputSize < 16 {
+		return fmt.Errorf("model: warm input size %d too small", c.InputSize)
+	}
+	if c.Channels <= 0 || c.Blocks <= 0 {
+		return fmt.Errorf("model: non-positive warm net dimensions in %+v", c)
+	}
+	if c.Kernel != 0 && (c.Kernel < 3 || c.Kernel%2 == 0) {
+		return fmt.Errorf("model: warm kernel %d must be odd and >= 3", c.Kernel)
+	}
+	return nil
+}
+
+// WarmStarter is the trained mask-initialization surrogate. It implements
+// ilt.Initializer: WarmMasksInto predicts a quasi-optimized field for both
+// double-patterning masks from their cold rasters, letting ILT start near
+// the optimum and merely polish.
+//
+// Unlike Predictor, a WarmStarter is safe for concurrent use: the pipelined
+// flow optimizes several layouts at once against one shared instance, so
+// inference serializes on an internal mutex over cached buffers (the net is
+// small; contention is not the bottleneck, the ILT iterations it saves are).
+type WarmStarter struct {
+	Cfg WarmConfig
+	Net *nn.Network
+
+	mu     sync.Mutex
+	frozen *nn.Network    // folded inference replica, rebuilt after training
+	in     *tensor.Tensor // cached 1 x 2 x S x S inference input
+}
+
+// NewWarmStarter builds an untrained surrogate for the given architecture.
+func NewWarmStarter(cfg WarmConfig) (*WarmStarter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := cfg.Kernel
+	if k == 0 {
+		k = 3
+	}
+	pad := k / 2
+	layers := []nn.Layer{
+		nn.NewConv2D(rng, 2, cfg.Channels, k, 1, pad, false),
+		nn.NewBatchNorm2D(cfg.Channels),
+		nn.NewReLU(),
+	}
+	for b := 1; b < cfg.Blocks; b++ {
+		layers = append(layers,
+			nn.NewConv2D(rng, cfg.Channels, cfg.Channels, k, 1, pad, false),
+			nn.NewBatchNorm2D(cfg.Channels),
+			nn.NewReLU(),
+		)
+	}
+	head := nn.NewConv2D(rng, cfg.Channels, 2, k, 1, pad, true)
+	// Shrink the head's He init so the initial correction is near zero and
+	// an untrained net reproduces (approximately) the cold start.
+	for _, p := range head.Params() {
+		for i := range p.Data {
+			p.Data[i] *= 0.1
+		}
+	}
+	layers = append(layers, head)
+	return &WarmStarter{Cfg: cfg, Net: nn.NewNetwork(layers...)}, nil
+}
+
+// WarmMasksInto implements ilt.Initializer: it downsamples the cold mask
+// rasters to the net's field size, runs one inference, resamples the
+// predicted correction back to the litho raster, and writes
+// clamp(cold + correction, 0, 1) into warm1/warm2. A non-finite prediction
+// returns false, falling the run back to the cold start. Steady-state calls
+// are allocation-free: the input tensor, the folded replica, and every layer
+// buffer are cached.
+func (ws *WarmStarter) WarmMasksInto(cold1, cold2 *grid.Grid, warm1, warm2 []float64) bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	s := ws.Cfg.InputSize
+	ws.in = tensor.Ensure(ws.in, 1, 2, s, s)
+	cold1.ResampleInto(s, s, ws.in.Data[:s*s])
+	cold2.ResampleInto(s, s, ws.in.Data[s*s:])
+	if ws.frozen == nil {
+		ws.frozen = ws.Net.Freeze()
+	}
+	out := ws.frozen.Forward(ws.in, false)
+	for _, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	res := grid.Grid{W: s, H: s, Res: 1}
+	for i, dst := range [2][]float64{warm1, warm2} {
+		cold := cold1
+		if i == 1 {
+			cold = cold2
+		}
+		res.Data = out.Data[i*s*s : (i+1)*s*s]
+		res.ResampleInto(cold.W, cold.H, dst)
+		for j, c := range cold.Data {
+			r := dst[j]
+			if math.Abs(r) < ws.Cfg.DeadZone {
+				r = 0
+			}
+			dst[j] = math.Min(math.Max(c+r, 0), 1)
+		}
+	}
+	return true
+}
+
+// Digest returns the provenance fingerprint of the current architecture and
+// weights: the SHA-256 of the serialized checkpoint bytes. Two WarmStarters
+// with identical config and parameters share a digest; any retraining
+// changes it — the job service folds it into dedupe cache keys.
+func (ws *WarmStarter) Digest() string {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var buf bytes.Buffer
+	if err := ws.write(&buf); err != nil {
+		// Gob-encoding in-memory plain-data structs cannot fail; treat it
+		// as the programming error it would be.
+		panic(fmt.Sprintf("model: warm digest: %v", err))
+	}
+	return artifact.Digest(buf.Bytes())
+}
+
+// WarmPair is one training example for the surrogate: the cold
+// decomposition mask rasters and the ILT-optimized continuous fields they
+// converged to, both resampled to the net's field size.
+type WarmPair struct {
+	Cold1, Cold2 *grid.Grid
+	Opt1, Opt2   *grid.Grid
+}
+
+// WarmDataset is a harvested (cold, optimized) mask-pair collection.
+type WarmDataset struct {
+	// Size is the field edge every grid in Pairs is stored at.
+	Size  int
+	Pairs []WarmPair
+}
+
+// Len returns the pair count.
+func (d *WarmDataset) Len() int { return len(d.Pairs) }
+
+// Augmented returns a new dataset containing, for every pair, its eight
+// dihedral transforms. As with Dataset.Augmented, the transform is exact:
+// the optical kernels are isotropic, so a rotated or mirrored cold mask
+// optimizes to the equally transformed field.
+func (d *WarmDataset) Augmented() *WarmDataset {
+	out := &WarmDataset{Size: d.Size, Pairs: make([]WarmPair, 0, 8*len(d.Pairs))}
+	for _, p := range d.Pairs {
+		cur := p
+		mir := WarmPair{Cold1: p.Cold1.FlipH(), Cold2: p.Cold2.FlipH(), Opt1: p.Opt1.FlipH(), Opt2: p.Opt2.FlipH()}
+		for k := 0; k < 4; k++ {
+			out.Pairs = append(out.Pairs, cur, mir)
+			if k < 3 {
+				cur = WarmPair{Cold1: cur.Cold1.Rot90(), Cold2: cur.Cold2.Rot90(), Opt1: cur.Opt1.Rot90(), Opt2: cur.Opt2.Rot90()}
+				mir = WarmPair{Cold1: mir.Cold1.Rot90(), Cold2: mir.Cold2.Rot90(), Opt1: mir.Opt1.Rot90(), Opt2: mir.Opt2.Rot90()}
+			}
+		}
+	}
+	return out
+}
+
+// Sealed-envelope identities of the warm-start artifacts.
+const (
+	warmKind           = "warmstarter"
+	warmVersion        = 1
+	warmDatasetKind    = "warm-dataset"
+	warmDatasetVersion = 1
+)
+
+// SaveWarmDataset seals the harvested pairs into path atomically.
+func SaveWarmDataset(ds *WarmDataset, path string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ds); err != nil {
+		return fmt.Errorf("model: encode warm dataset: %w", err)
+	}
+	return artifact.WriteFile(path, warmDatasetKind, warmDatasetVersion, buf.Bytes())
+}
+
+// LoadWarmDataset reads a dataset previously written by SaveWarmDataset.
+func LoadWarmDataset(path string) (*WarmDataset, error) {
+	payload, err := artifact.ReadFile(path, warmDatasetKind, warmDatasetVersion)
+	if err != nil {
+		return nil, err
+	}
+	var ds WarmDataset
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ds); err != nil {
+		return nil, fmt.Errorf("model: decode warm dataset: %w", err)
+	}
+	return &ds, nil
+}
+
+// Save writes architecture and weights to path inside a sealed artifact
+// envelope, atomically.
+func (ws *WarmStarter) Save(path string) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var buf bytes.Buffer
+	if err := ws.write(&buf); err != nil {
+		return err
+	}
+	return artifact.WriteFile(path, warmKind, warmVersion, buf.Bytes())
+}
+
+// Write streams the warm starter to w.
+func (ws *WarmStarter) Write(w io.Writer) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.write(w)
+}
+
+// write is Write without the lock, for callers that already hold it.
+func (ws *WarmStarter) write(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(ws.Cfg); err != nil {
+		return fmt.Errorf("model: encode warm config: %w", err)
+	}
+	return ws.Net.EncodeParams(enc)
+}
+
+// LoadWarmStarter reads a warm starter previously written by Save, verifying
+// the sealed envelope.
+func LoadWarmStarter(path string) (*WarmStarter, error) {
+	payload, err := artifact.ReadFile(path, warmKind, warmVersion)
+	if err != nil {
+		return nil, err
+	}
+	return ReadWarmStarter(bytes.NewReader(payload))
+}
+
+// ReadWarmStarter streams a warm starter from r.
+func ReadWarmStarter(r io.Reader) (*WarmStarter, error) {
+	dec := gob.NewDecoder(r)
+	var cfg WarmConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("model: decode warm config: %w", err)
+	}
+	ws, err := NewWarmStarter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ws.Net.DecodeParams(dec); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// WarmTrainConfig controls surrogate training.
+type WarmTrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+	// Log, when non-nil, receives per-epoch progress lines.
+	Log io.Writer
+}
+
+// DefaultWarmTrainConfig returns settings that fit the default surrogate on
+// an augmented few-hundred-pair harvest within CPU-seconds.
+func DefaultWarmTrainConfig() WarmTrainConfig {
+	return WarmTrainConfig{Epochs: 40, BatchSize: 8, LR: 2e-3, Seed: 1}
+}
+
+// Train fits the surrogate on harvested pairs; it is TrainCtx without
+// cancellation.
+func (ws *WarmStarter) Train(ds *WarmDataset, tc WarmTrainConfig) ([]float64, error) {
+	return ws.TrainCtx(context.Background(), ds, tc)
+}
+
+// TrainCtx minimizes the MSE between the predicted correction field and the
+// harvested residual (optimized - cold) over shuffled mini-batches, with the
+// same bounded NaN rollback-and-halve guard as predictor training. It
+// returns the mean epoch loss history.
+func (ws *WarmStarter) TrainCtx(ctx context.Context, ds *WarmDataset, tc WarmTrainConfig) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("model: empty warm training set")
+	}
+	if tc.Epochs <= 0 || tc.BatchSize <= 0 || tc.LR <= 0 {
+		return nil, fmt.Errorf("model: invalid warm train config %+v", tc)
+	}
+	if ds.Size != ws.Cfg.InputSize {
+		return nil, fmt.Errorf("model: warm dataset field size %d != net input size %d", ds.Size, ws.Cfg.InputSize)
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	// Training rewrites the canonical weights; the folded replica is stale.
+	ws.frozen = nil
+
+	s := ws.Cfg.InputSize
+	loss := &nn.MSE{}
+	adam := nn.NewAdam(tc.LR)
+	rng := rand.New(rand.NewSource(tc.Seed))
+	order := rng.Perm(ds.Len())
+	params := ws.Net.Params()
+	snap := nn.NewParamSnapshot(params)
+	const maxNaNRetries = 3
+	history := make([]float64, 0, tc.Epochs)
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss := 0.0
+		batches := 0
+		for start := 0; start < len(order); start += tc.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return history, fmt.Errorf("model: warm training interrupted in epoch %d: %w", epoch+1, err)
+			}
+			end := min(start+tc.BatchSize, len(order))
+			idx := order[start:end]
+			x := tensor.New(len(idx), 2, s, s)
+			target := tensor.New(len(idx), 2, s, s)
+			for i, j := range idx {
+				p := ds.Pairs[j]
+				base := i * 2 * s * s
+				copy(x.Data[base:base+s*s], p.Cold1.Data)
+				copy(x.Data[base+s*s:base+2*s*s], p.Cold2.Data)
+				for k := 0; k < s*s; k++ {
+					target.Data[base+k] = p.Opt1.Data[k] - p.Cold1.Data[k]
+					target.Data[base+s*s+k] = p.Opt2.Data[k] - p.Cold2.Data[k]
+				}
+			}
+			var l float64
+			for retry := 0; ; retry++ {
+				snap.Save(params)
+				pred := ws.Net.Forward(x, true)
+				var grad *tensor.Tensor
+				l, grad = loss.Eval(pred, target)
+				nn.ZeroGrads(params)
+				ws.Net.Backward(grad)
+				if !math.IsNaN(l) && !math.IsInf(l, 0) && nn.GradsFinite(params) {
+					adam.Step(params)
+					break
+				}
+				snap.Restore(params)
+				if retry+1 >= maxNaNRetries {
+					return history, &runx.NumericalError{
+						Op: "model.WarmStarter.TrainCtx",
+						Detail: fmt.Sprintf("non-finite loss/gradient at epoch %d batch %d persisted through %d rollbacks with LR backoff (final LR %g)",
+							epoch+1, batches+1, maxNaNRetries, adam.LR),
+					}
+				}
+				adam.LR /= 2
+				if tc.Log != nil {
+					fmt.Fprintf(tc.Log, "model: warm non-finite loss/gradient at epoch %d batch %d — rolled back, LR halved to %g\n",
+						epoch+1, batches+1, adam.LR)
+				}
+			}
+			epochLoss += l
+			batches++
+		}
+		epochLoss /= float64(batches)
+		history = append(history, epochLoss)
+		if tc.Log != nil {
+			fmt.Fprintf(tc.Log, "warm epoch %3d/%d  loss %.5f\n", epoch+1, tc.Epochs, epochLoss)
+		}
+	}
+	return history, nil
+}

@@ -191,3 +191,101 @@ func TestCoalescerSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state coalescer cycle allocates %.1f objects, want 0", avg)
 	}
 }
+
+// TestCoalescerForgoRacesFlush hammers the withdrawal path: submissions and
+// withdrawals of one wave race freely (so a completing Forgo may run the
+// flush while later Do calls queue into the next generation), and every
+// submitted request must still read its own response. Run under -race this
+// pins the lock discipline of Forgo-triggered flushes.
+func TestCoalescerForgoRacesFlush(t *testing.T) {
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		for i, r := range reqs {
+			resps[i] = r + 100
+		}
+		return nil
+	})
+	const rounds, n = 200, 8
+	for round := 0; round < rounds; round++ {
+		c.Expect(n)
+		var wg sync.WaitGroup
+		out := make([]int, n)
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			if i%2 == 0 {
+				go func(i int) {
+					defer wg.Done()
+					out[i], errs[i] = c.Do(i)
+				}(i)
+			} else {
+				go func() {
+					defer wg.Done()
+					c.Forgo()
+				}()
+			}
+		}
+		wg.Wait()
+		for i := 0; i < n; i += 2 {
+			if errs[i] != nil {
+				t.Fatalf("round %d: Do(%d) failed: %v", round, i, errs[i])
+			}
+			if out[i] != i+100 {
+				t.Fatalf("round %d: Do(%d) read %d — a racing Forgo crossed responses", round, i, out[i])
+			}
+		}
+	}
+	if s := c.Stats(); s.Requests != rounds*n/2 {
+		t.Fatalf("served %d requests, want %d", s.Requests, rounds*n/2)
+	}
+}
+
+// TestCoalescerGenerationRecycledAfterDrainedWave pins the recycling
+// contract: once the last waiter of a wave has read its slot, the generation
+// record returns to the free list fully reset, and the next wave flushes
+// from that recycled record instead of allocating a fresh one.
+func TestCoalescerGenerationRecycledAfterDrainedWave(t *testing.T) {
+	c := NewCoalescer(0, func(reqs []int, resps []int) error {
+		copy(resps, reqs)
+		return nil
+	})
+	wave := func(n int) {
+		c.Expect(n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if v, err := c.Do(i); err != nil || v != i {
+					t.Errorf("Do(%d) = %d, %v", i, v, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	wave(4)
+	c.mu.Lock()
+	if len(c.free) != 1 {
+		c.mu.Unlock()
+		t.Fatalf("drained wave left %d free generations, want 1", len(c.free))
+	}
+	gen := c.free[0]
+	if len(gen.reqs) != 0 || len(gen.resps) != 0 || gen.done || gen.readers != 0 || gen.err != nil {
+		c.mu.Unlock()
+		t.Fatalf("recycled generation not reset: %+v", gen)
+	}
+	c.mu.Unlock()
+
+	// The next wave must reuse the recycled record as its accumulating
+	// generation (popped from the free list at flush time) — the free list
+	// does not grow and the recycled pointer is live again.
+	wave(4)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.free) != 1 {
+		t.Fatalf("second wave grew the free list to %d, want 1 (generation not recycled)", len(c.free))
+	}
+	if c.cur != gen {
+		t.Fatal("second wave allocated a fresh generation instead of reusing the drained one")
+	}
+}

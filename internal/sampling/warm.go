@@ -1,0 +1,117 @@
+package sampling
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"ldmo/internal/ilt"
+	"ldmo/internal/layout"
+	"ldmo/internal/model"
+	"ldmo/internal/par"
+)
+
+// WarmPairConfig controls the warm-start training-pair harvest.
+type WarmPairConfig struct {
+	// PerLayout is how many decompositions are harvested per layout, taken
+	// in the deterministic sampling order; <=0 selects 2. More pairs per
+	// layout buy diversity in mask assignments, fewer buy more layouts per
+	// ILT budget.
+	PerLayout int
+	// Size is the square field edge pairs are stored at; <=0 selects the
+	// sampling config's ImageSize.
+	Size int
+}
+
+// normalized applies the defaults against the owning sampling config.
+func (w WarmPairConfig) normalized(cfg Config) WarmPairConfig {
+	if w.PerLayout <= 0 {
+		w.PerLayout = 2
+	}
+	if w.Size <= 0 {
+		w.Size = cfg.ImageSize
+	}
+	return w
+}
+
+// BuildWarmPairs harvests (cold decomposition mask, ILT-optimized field)
+// training pairs for the warm-start surrogate. It is BuildWarmPairsCtx
+// without cancellation.
+func BuildWarmPairs(layouts []layout.Layout, cfg Config, wcfg WarmPairConfig, log io.Writer) (*model.WarmDataset, error) {
+	return BuildWarmPairsCtx(context.Background(), layouts, cfg, wcfg, log)
+}
+
+// BuildWarmPairsCtx runs the label extractor behind `ldmo-train -warmstart`:
+// for each layout it samples decompositions exactly as dataset labeling
+// does, runs the same full-budget ILT on the first PerLayout of them, and
+// records the cold mask rasters next to the optimized continuous fields
+// they converged to, everything box-resampled to the surrogate's field
+// size. Layouts are harvested in parallel across cfg.Workers lanes and
+// stitched in layout order, so the dataset is byte-identical at any worker
+// count.
+//
+// The harvesting ILT always runs cold (any warm-start or early-stop
+// settings on cfg.ILT are stripped): labels must stay fixed points of the
+// cold optimizer, not of whatever surrogate happened to be active.
+func BuildWarmPairsCtx(ctx context.Context, layouts []layout.Layout, cfg Config, wcfg WarmPairConfig, log io.Writer) (*model.WarmDataset, error) {
+	if len(layouts) == 0 {
+		return nil, fmt.Errorf("sampling: no layouts to harvest warm pairs from")
+	}
+	wcfg = wcfg.normalized(cfg)
+	iltCfg := cfg.ILT
+	iltCfg.AbortOnViolation = false // pairs need completed trajectories
+	iltCfg.Init = nil
+	iltCfg.ConvergeWindow = 0
+
+	type harvested struct {
+		pairs []model.WarmPair
+		err   error
+	}
+	results := make([]harvested, len(layouts))
+	pool := par.NewPool(cfg.Workers)
+	_, cerr := pool.MapCtx(orBackground(ctx), len(layouts), func(_, li int) {
+		l := layouts[li]
+		cands, err := SampleDecompositions(l, cfg)
+		if err != nil {
+			results[li] = harvested{err: fmt.Errorf("sampling: warm pairs %s: %w", l.Name, err)}
+			return
+		}
+		if len(cands) > wcfg.PerLayout {
+			cands = cands[:wcfg.PerLayout]
+		}
+		opt, err := ilt.NewOptimizer(l, iltCfg)
+		if err != nil {
+			results[li] = harvested{err: fmt.Errorf("sampling: warm pairs %s: %w", l.Name, err)}
+			return
+		}
+		res := opt.Config().Litho.Resolution
+		s := wcfg.Size
+		pairs := make([]model.WarmPair, 0, len(cands))
+		for _, d := range cands {
+			c1, c2 := d.Masks(res)
+			r := opt.Run(d)
+			pairs = append(pairs, model.WarmPair{
+				Cold1: c1.Resample(s, s),
+				Cold2: c2.Resample(s, s),
+				Opt1:  r.M1.Resample(s, s),
+				Opt2:  r.M2.Resample(s, s),
+			})
+		}
+		results[li] = harvested{pairs: pairs}
+	})
+	if cerr != nil {
+		return nil, fmt.Errorf("sampling: warm-pair harvest interrupted: %w", cerr)
+	}
+	ds := &model.WarmDataset{Size: wcfg.Size}
+	for li, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		ds.Pairs = append(ds.Pairs, r.pairs...)
+		if log != nil {
+			fmt.Fprintf(log, "warm pairs %3d/%d  %-12s  %d pairs\n",
+				li+1, len(results), layouts[li].Name, len(r.pairs))
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,74 @@
+package sampling
+
+import (
+	"testing"
+)
+
+func TestBuildWarmPairsDeterministicAcrossWorkers(t *testing.T) {
+	p := pool(t, 3)
+	cfg := testConfig()
+	wcfg := WarmPairConfig{PerLayout: 2, Size: 32}
+
+	cfg.Workers = 1
+	serial, err := BuildWarmPairs(p, cfg, wcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := BuildWarmPairs(p, cfg, wcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("no pairs harvested")
+	}
+	if serial.Len() != par.Len() || serial.Size != par.Size {
+		t.Fatalf("worker count changed harvest: %d/%d pairs, size %d/%d",
+			serial.Len(), par.Len(), serial.Size, par.Size)
+	}
+	for i := range serial.Pairs {
+		a, b := serial.Pairs[i], par.Pairs[i]
+		for j := range a.Cold1.Data {
+			if a.Cold1.Data[j] != b.Cold1.Data[j] || a.Cold2.Data[j] != b.Cold2.Data[j] ||
+				a.Opt1.Data[j] != b.Opt1.Data[j] || a.Opt2.Data[j] != b.Opt2.Data[j] {
+				t.Fatalf("pair %d differs between worker counts at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildWarmPairsShapesAndProgress(t *testing.T) {
+	p := pool(t, 2)
+	cfg := testConfig()
+	ds, err := BuildWarmPairs(p, cfg, WarmPairConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: two pairs per layout (when the layout has that many
+	// candidates), fields at the sampling image size.
+	if ds.Size != cfg.ImageSize {
+		t.Fatalf("pair size %d, want %d", ds.Size, cfg.ImageSize)
+	}
+	if ds.Len() == 0 || ds.Len() > 2*len(p) {
+		t.Fatalf("harvested %d pairs from %d layouts", ds.Len(), len(p))
+	}
+	for i, pr := range ds.Pairs {
+		if pr.Cold1.W != ds.Size || pr.Cold1.H != ds.Size ||
+			pr.Opt2.W != ds.Size || pr.Opt2.H != ds.Size {
+			t.Fatalf("pair %d not at field size: cold %dx%d opt %dx%d",
+				i, pr.Cold1.W, pr.Cold1.H, pr.Opt2.W, pr.Opt2.H)
+		}
+		// The optimized field must differ from the cold raster: ILT moved
+		// the masks.
+		same := true
+		for j := range pr.Cold1.Data {
+			if pr.Cold1.Data[j] != pr.Opt1.Data[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("pair %d: optimized field identical to cold raster", i)
+		}
+	}
+}

@@ -67,6 +67,11 @@ type JobSpec struct {
 	// MaxAttempts bounds how many decomposition candidates are tried before
 	// the forced best-effort run; 0 means all.
 	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Warm opts the job into learned ILT warm-starting when the server was
+	// started with a warm-start net (and the LDMO_WARMSTART gate is open).
+	// Part of the content hash: a warm job and a cold job are different jobs
+	// with separately cached results.
+	Warm bool `json:"warm,omitempty"`
 }
 
 // Validate rejects specs with zero or several layout sources or out-of-range
@@ -146,7 +151,7 @@ func (s JobSpec) ID() string {
 // groupKey buckets specs whose jobs can share one pipelined flow invocation:
 // everything that feeds core.Config must match.
 func (s JobSpec) groupKey() string {
-	return fmt.Sprintf("fast=%v deadline=%d attempts=%d", s.Fast, s.DeadlineMS, s.MaxAttempts)
+	return fmt.Sprintf("fast=%v deadline=%d attempts=%d warm=%v", s.Fast, s.DeadlineMS, s.MaxAttempts, s.Warm)
 }
 
 // Status is a job's lifecycle state.

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,11 +12,13 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ldmo/internal/core"
+	"ldmo/internal/ilt"
 	"ldmo/internal/layout"
 	"ldmo/internal/par"
 	"ldmo/internal/runx"
@@ -44,6 +48,10 @@ type Config struct {
 	// Scorer is the optional trained predictor; nil degrades every job to
 	// generator candidate order (the no-predictor ablation).
 	Scorer core.Scorer
+	// WarmStarter is the optional learned ILT warm-start net, applied to jobs
+	// that set spec.Warm (subject to the LDMO_WARMSTART gate). nil runs every
+	// job cold regardless of the spec.
+	WarmStarter ilt.Initializer
 	// RetryAfter is the hint sent with 429 responses; <=0 selects 1s.
 	RetryAfter time.Duration
 	// Log receives operational messages when non-nil.
@@ -292,7 +300,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid layout: %v", err)
 		return
 	}
-	id := spec.ID()
+	id := s.jobID(spec)
 	client := clientOf(r)
 
 	s.mu.Lock()
@@ -540,7 +548,49 @@ func (s *Server) flowConfig(spec JobSpec) core.Config {
 	if spec.DeadlineMS > 0 {
 		cfg.Budget.Wall = time.Duration(spec.DeadlineMS) * time.Millisecond
 	}
+	if spec.Warm {
+		cfg.WarmStarter = s.cfg.WarmStarter
+	}
 	return cfg
+}
+
+// jobID derives the dedupe identifier for a spec under THIS server's engine:
+// the spec's content hash plus — when the server carries learned components
+// that expose a checkpoint digest — those digests. Retraining the predictor
+// or the warm-start net then invalidates the dedupe cache instead of serving
+// results computed by a stale engine; a server with no digestable components
+// keeps the plain spec.ID(), so job IDs (and on-disk stores) from before the
+// provenance mechanism stay valid.
+func (s *Server) jobID(spec JobSpec) string {
+	fp := s.fingerprint()
+	if fp == "" {
+		return spec.ID()
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// A JobSpec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: marshal spec: %v", err))
+	}
+	h := sha256.New()
+	h.Write(b)
+	h.Write([]byte{0})
+	h.Write([]byte(fp))
+	return "j-" + hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// fingerprint is the engine provenance string: the checkpoint digests of
+// whichever learned components this server carries. Components that do not
+// expose a Digest (test fakes, ablation stubs) contribute nothing.
+func (s *Server) fingerprint() string {
+	type digester interface{ Digest() string }
+	var parts []string
+	if d, ok := s.cfg.Scorer.(digester); ok {
+		parts = append(parts, "scorer="+d.Digest())
+	}
+	if d, ok := s.cfg.WarmStarter.(digester); ok {
+		parts = append(parts, "warm="+d.Digest())
+	}
+	return strings.Join(parts, " ")
 }
 
 // transientScorer marks a scorer fallback treated as transient: the

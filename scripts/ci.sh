@@ -68,3 +68,14 @@ go run ./cmd/ldmo-bench -exp servebench -fast -deadline 120s -out "$tmpout"
 # quick bench repeats the chaos drill in-process, measures scaling, reclaim and
 # resume cost, and fails if the chaos manifest diverges from the serial one.
 go run ./cmd/ldmo-bench -exp factorybench -fast -deadline 180s -out "$tmpout"
+
+# Warm-start gates. The packages that consume the LDMO_WARMSTART gate run a
+# second time with it forced off, so the kill switch's bitwise-identical
+# off-path (pinned by the core/ilt golden tests) cannot rot; the zero-alloc
+# line proves warm inference stays allocation-free in steady state (the
+# WarmMasksInto gate also runs inside the SteadyStateAllocs sweep above); and
+# the quick warmbench smoke trains a small surrogate and cross-checks the
+# off-gate end to end, writing BENCH_warmstart.json outside the tree.
+LDMO_WARMSTART=off go test -timeout 300s ./internal/ilt ./internal/core ./internal/serve
+go test -timeout 120s -run='WarmMasksIntoSteadyStateAllocs' ./internal/model
+go run ./cmd/ldmo-bench -exp warmbench -fast -deadline 600s -out "$tmpout"
